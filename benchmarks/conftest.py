@@ -1,0 +1,28 @@
+"""Shared benchmark plumbing.
+
+Every benchmark reproduces one table/figure of the paper (see DESIGN.md's
+experiment index).  Conventions:
+
+* each bench runs its experiment exactly once via ``benchmark.pedantic``
+  (these are simulation experiments, not micro-benchmarks — variance
+  across repeats is zero by determinism);
+* measured numbers are attached to ``benchmark.extra_info``, printed, and
+  saved as JSON under ``results/``;
+* scaled-down population sizes vs. the paper are recorded in the output
+  (EXPERIMENTS.md discusses scaling).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run the experiment once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

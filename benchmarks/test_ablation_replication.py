@@ -1,0 +1,51 @@
+"""Ablation A2 — replication degree (Section 3.1).
+
+"The replication degree is configurable; however, the higher the degree of
+replication, the greater the CPU and network overhead, and the lower is
+the throughput of transactions that modify the state."
+"""
+
+from repro.harness.tables import format_table, save_result
+from repro.harness.zeus_cluster import ZeusCluster
+from repro.sim.params import SimParams
+from repro.workloads import SmallbankWorkload, run_zeus_workload
+
+DURATION_US = 8_000.0
+WARMUP_US = 1_500.0
+THREADS = 4
+NODES = 6
+
+
+def _run(degree: int):
+    wl = SmallbankWorkload(NODES, accounts_per_node=1_500, remote_frac=0.0)
+    # Rebuild the catalog with the requested degree.
+    wl.catalog.replication_degree = degree
+    params = SimParams(replication_degree=degree).scaled_threads(
+        app=THREADS, worker=THREADS)
+    cluster = ZeusCluster(NODES, params=params, catalog=wl.catalog)
+    cluster.load(init_value=1_000)
+    stats = run_zeus_workload(cluster, wl.spec_for,
+                              duration_us=DURATION_US + WARMUP_US,
+                              warmup_us=WARMUP_US, threads=THREADS)
+    bytes_total = cluster.network.total_bytes
+    return stats.throughput_tps(DURATION_US), bytes_total
+
+
+def test_ablation_replication(once):
+    def experiment():
+        return {d: _run(d) for d in (1, 2, 3, 5)}
+
+    out = once(experiment)
+    print()
+    print(format_table(
+        ["replication degree", "Mtps (6 nodes)", "network MB"],
+        [(d, f"{t/1e6:.2f}", f"{b/1e6:.1f}") for d, (t, b) in out.items()],
+        title="Ablation A2 — replication degree vs throughput"))
+    save_result("ablation_replication",
+                {str(d): {"tps": t, "bytes": b} for d, (t, b) in out.items()})
+
+    # Monotone: more replicas, less write throughput, more traffic.
+    assert out[1][0] > out[3][0] > out[5][0]
+    assert out[1][1] < out[3][1] < out[5][1]
+    # Unreplicated is substantially faster than 3-way (no commit traffic).
+    assert out[1][0] > 1.15 * out[3][0]

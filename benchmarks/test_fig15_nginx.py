@@ -1,0 +1,94 @@
+"""Figure 15 — Nginx session persistence in a scale-out / scale-in run.
+
+Paper claims: Nginx with Zeus-backed session persistence performs the same
+as Nginx without it (the datastore is not the bottleneck), and the tier
+scales out and in seamlessly because session state lives in the replicated
+datastore rather than in the Nginx processes.
+
+Timeline: one Nginx node serves an offered load above single-node
+capacity; a second node is added at t1 (total throughput rises to meet the
+offer) and removed at t2 (back to one node's capacity).
+"""
+
+from repro.apps import NginxServer, OpenLoopSource, RequestQueue, serve_queue
+from repro.apps.nginx import REQUEST_US, build_nginx_catalog
+from repro.harness.metrics import ThroughputMeter
+from repro.harness.tables import ascii_series, format_table, save_result
+from repro.harness.zeus_cluster import ZeusCluster
+from repro.sim.params import SimParams
+
+SESSIONS = 3_000
+HORIZON = 300_000.0
+SCALE_OUT_AT = 100_000.0
+SCALE_IN_AT = 200_000.0
+#: Offered load: ~1.5x one instance's capacity.
+OFFERED_TPS = 1.5 * 1e6 / REQUEST_US
+
+
+def _run(mode: str):
+    catalog = build_nginx_catalog(2, SESSIONS)
+    params = SimParams().scaled_threads(app=2, worker=2)
+    cluster = ZeusCluster(2, params=params, catalog=catalog)
+    cluster.load(init_value=0)
+    sim = cluster.sim
+    meter = ThroughputMeter(bin_us=20_000.0)
+
+    queues = [RequestQueue(sim), RequestQueue(sim)]
+    rng = cluster.rng.stream("nginx.arrivals")
+    source = OpenLoopSource(sim, OFFERED_TPS, [queues[0]],
+                            lambda r: r.randrange(SESSIONS), rng=rng)
+    source.start()
+
+    for idx in range(2):
+        server = NginxServer(mode, backends=4, zeus=cluster.handles[idx],
+                             catalog=catalog, thread=0)
+        cluster.spawn_app(idx, 0, serve_queue(sim, queues[idx],
+                                              server.handle_request,
+                                              meter=meter, stop_at=HORIZON))
+
+    sim.call_at(SCALE_OUT_AT, source.set_queues, queues)       # add node 2
+    sim.call_at(SCALE_IN_AT, source.set_queues, [queues[0]])   # remove it
+    cluster.run(until=HORIZON)
+
+    timeline = meter.timeline()
+    phase = lambda lo, hi: [tps for t, tps in timeline
+                            if lo <= t * 1e6 < hi and tps > 0]
+    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
+    return {
+        "timeline": timeline,
+        "one_node_tps": mean(phase(20_000, SCALE_OUT_AT)),
+        "two_node_tps": mean(phase(SCALE_OUT_AT + 20_000, SCALE_IN_AT)),
+        "back_to_one_tps": mean(phase(SCALE_IN_AT + 20_000, HORIZON)),
+    }
+
+
+def test_fig15_nginx(once):
+    def experiment():
+        return {"zeus": _run("zeus"), "memory": _run("memory")}
+
+    out = once(experiment)
+    rows = []
+    for mode in ("memory", "zeus"):
+        r = out[mode]
+        rows.append((mode, f"{r['one_node_tps']/1e3:.1f}",
+                     f"{r['two_node_tps']/1e3:.1f}",
+                     f"{r['back_to_one_tps']/1e3:.1f}"))
+    print()
+    print(format_table(
+        ["backend", "1 node Ktps", "2 nodes Ktps", "back to 1 Ktps"],
+        rows, title="Figure 15 — Nginx session persistence, scale-out/in"))
+    print(ascii_series(out["zeus"]["timeline"], label="zeus requests/s"))
+    save_result("fig15_nginx", {m: {k: v for k, v in r.items()
+                                    if k != "timeline"}
+                                for m, r in out.items()})
+
+    zeus, memory = out["zeus"], out["memory"]
+    # Zeus-backed persistence is within ~10% of in-process state (the
+    # paper reports parity; our per-transaction accounting charges the
+    # lookup explicitly).
+    assert zeus["one_node_tps"] > 0.85 * memory["one_node_tps"]
+    assert zeus["two_node_tps"] > 0.85 * memory["two_node_tps"]
+    # Scale-out raises throughput substantially; scale-in restores it.
+    assert zeus["two_node_tps"] > 1.3 * zeus["one_node_tps"]
+    assert abs(zeus["back_to_one_tps"] - zeus["one_node_tps"]) \
+        < 0.25 * zeus["one_node_tps"]

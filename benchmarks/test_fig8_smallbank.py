@@ -1,0 +1,94 @@
+"""Figure 8 — Smallbank throughput vs. % of remote write transactions.
+
+Paper claims: at Venmo-level remote fractions (~1%), Zeus beats FaSST by
+~35% and DrTM by ~100%; Zeus's throughput falls as the remote-write
+fraction grows, breaking even with FaSST around 5% and with DrTM around
+20%; the 3-node and 6-node trends match.
+
+We run the baselines on the same simulated hardware instead of quoting
+their papers' numbers (see DESIGN.md), so the crossover *positions* are
+model outputs — the asserted shape is: Zeus wins at high locality, decays
+with remote fraction, and the baselines are nearly flat.
+"""
+
+from repro.baselines import DRTM, FASST, BaselineCluster
+from repro.harness.tables import format_table, save_result
+from repro.harness.zeus_cluster import ZeusCluster
+from repro.sim.params import SimParams
+from repro.workloads import (
+    SmallbankWorkload,
+    run_baseline_workload,
+    run_zeus_workload,
+)
+
+DURATION_US = 8_000.0
+WARMUP_US = 1_500.0
+THREADS = 4
+ACCOUNTS_PER_NODE = 2_000
+FRACS = (0.0, 0.01, 0.05, 0.10, 0.20, 0.40)
+
+
+def _zeus(num_nodes: int, remote_frac: float) -> float:
+    wl = SmallbankWorkload(num_nodes, ACCOUNTS_PER_NODE,
+                           remote_frac=remote_frac)
+    params = SimParams().scaled_threads(app=THREADS, worker=THREADS)
+    cluster = ZeusCluster(num_nodes, params=params, catalog=wl.catalog)
+    cluster.load(init_value=1_000)
+    stats = run_zeus_workload(cluster, wl.spec_for,
+                              duration_us=DURATION_US + WARMUP_US,
+                              warmup_us=WARMUP_US, threads=THREADS)
+    return stats.throughput_tps(DURATION_US)
+
+
+def _baseline(num_nodes: int, remote_frac: float, profile) -> float:
+    wl = SmallbankWorkload(num_nodes, ACCOUNTS_PER_NODE,
+                           remote_frac=remote_frac, track_migration=False)
+    params = SimParams().scaled_threads(app=THREADS, worker=THREADS)
+    cluster = BaselineCluster(num_nodes, profile, params=params,
+                              catalog=wl.catalog)
+    cluster.load(init_value=1_000)
+    stats = run_baseline_workload(cluster, wl.spec_for,
+                                  duration_us=DURATION_US + WARMUP_US,
+                                  warmup_us=WARMUP_US, threads=THREADS)
+    return stats.throughput_tps(DURATION_US)
+
+
+def test_fig8_smallbank(once):
+    def experiment():
+        out = {"fracs": list(FRACS), "zeus3": [], "fasst3": [], "drtm3": [],
+               "zeus6": []}
+        for frac in FRACS:
+            out["zeus3"].append(_zeus(3, frac))
+            out["fasst3"].append(_baseline(3, frac, FASST))
+            out["drtm3"].append(_baseline(3, frac, DRTM))
+        for frac in (0.01, 0.10):
+            out["zeus6"].append((frac, _zeus(6, frac)))
+        return out
+
+    out = once(experiment)
+    rows = [(f"{100*f:.0f}%", f"{z/1e6:.2f}M", f"{fa/1e6:.2f}M",
+             f"{d/1e6:.2f}M")
+            for f, z, fa, d in zip(out["fracs"], out["zeus3"],
+                                   out["fasst3"], out["drtm3"])]
+    print()
+    print(format_table(
+        ["remote writes", "Zeus (3n)", "FaSST-like (3n)", "DrTM-like (3n)"],
+        rows, title="Figure 8 — Smallbank vs remote-write fraction"))
+    print("6-node Zeus:", [(f, f"{t/1e6:.2f}M") for f, t in out["zeus6"]])
+    save_result("fig8_smallbank", out)
+
+    zeus, fasst, drtm = out["zeus3"], out["fasst3"], out["drtm3"]
+    # Venmo-level locality (~1% remote): Zeus clearly ahead of both.
+    # (The paper quotes DrTM's published numbers from weaker absolute
+    # baselines; on equal simulated hardware DrTM-like lands near
+    # FaSST-like — see EXPERIMENTS.md.)
+    assert zeus[1] > 1.2 * fasst[1], (zeus[1], fasst[1])
+    assert zeus[1] > 1.2 * drtm[1], (zeus[1], drtm[1])
+    # Zeus decays with remote fraction; the crossover exists.
+    assert zeus[-1] < zeus[0]
+    assert zeus[-1] < max(fasst[-1], drtm[-1]) * 1.3
+    # Baselines are comparatively flat (static sharding, remote forever).
+    assert fasst[-1] > 0.4 * fasst[0]
+    # 6-node trend mirrors 3-node: higher total, same ordering.
+    assert out["zeus6"][0][1] > out["zeus6"][1][1]
+    assert out["zeus6"][0][1] > zeus[1]

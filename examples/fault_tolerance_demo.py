@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Fault tolerance end to end: crash a node mid-pipeline, watch recovery.
+
+A coordinator commits a stream of transactions and is crash-stopped with
+reliable commits still in flight.  The demo narrates what the protocols do:
+lease expiry, epoch change, followers replaying applied-but-unvalidated
+R-INVs, the recovery barrier lifting, and a new node taking ownership of
+the dead coordinator's objects — with the committed data intact.
+
+Run:  python examples/fault_tolerance_demo.py
+"""
+
+from repro import Catalog, SimParams, ZeusCluster
+from repro.verify import check_invariants
+
+
+def main() -> None:
+    catalog = Catalog(num_nodes=3, replication_degree=3)
+    catalog.add_table("ledger", obj_size=96)
+    oids = [catalog.create_object("ledger", i, owner=0) for i in range(30)]
+
+    params = SimParams(lease_us=2_000.0, heartbeat_us=200.0)
+    cluster = ZeusCluster(3, params=params, catalog=catalog)
+    cluster.load(init_value=0)
+    cluster.start_membership()
+    api0 = cluster.handles[0].api
+
+    def doomed_coordinator():
+        for i, oid in enumerate(oids):
+            result = yield from api0.execute_write(
+                0, [oid], compute=lambda _o, _v, i=i: f"txn-{i}")
+            assert result.committed  # locally committed, pipelined
+
+    cluster.spawn_app(0, 0, doomed_coordinator())
+    cluster.crash(0, at=18.0)  # mid-pipeline: R-INVs still in flight
+    print("t=    18us  node 0 crash-stops with reliable commits in flight")
+
+    cluster.run(until=1_000.0)
+    survivors = cluster.handles[1:]
+    applied = sum(h.commit.counters.get("applied", 0) for h in survivors)
+    print(f"t=  1000us  survivors applied {applied} invalidations so far; "
+          f"epoch still {cluster.nodes[1].epoch}")
+
+    cluster.run(until=60_000.0)
+    epoch = cluster.nodes[1].epoch
+    replays = sum(h.commit.counters.get("commit_replay", 0)
+                  for h in survivors)
+    print(f"t={cluster.sim.now/1e3:5.0f}ms   lease expired -> epoch {epoch}; "
+          f"followers replayed {replays} pending commits")
+    print(f"            recovery barrier lifted: "
+          f"{all(h.ownership.barrier_lifted for h in survivors)}")
+
+    # Count what survived: every transaction whose R-INV reached at least
+    # one live follower is durable; the unreplicated tail died with node 0.
+    survived = sum(1 for oid in oids
+                   if cluster.handles[1].store.get(oid).t_data is not None
+                   and cluster.handles[1].store.get(oid).t_version > 0)
+    print(f"            {survived}/{len(oids)} committed writes survive on "
+          f"the remaining replicas")
+
+    # Node 1 takes over the dead coordinator's objects on first write.
+    results = []
+
+    def successor():
+        api1 = cluster.handles[1].api
+        for oid in oids[:5]:
+            r = yield from api1.execute_write(
+                0, [oid], compute=lambda _o, v: f"{v}+recovered")
+            results.append(r.committed)
+
+    cluster.spawn_app(1, 0, successor())
+    cluster.run(until=200_000.0)
+    print(f"            node 1 re-acquired and wrote "
+          f"{sum(results)}/5 of the dead node's objects "
+          f"(owner of oid0 is now node {cluster.owner_of(oids[0])})")
+
+    check_invariants(cluster)
+    consistent = all(
+        cluster.handles[1].store.get(oid).t_data
+        == cluster.handles[2].store.get(oid).t_data
+        for oid in oids)
+    print(f"            replicas consistent: {consistent}; "
+          "paper invariants hold: True")
+
+
+if __name__ == "__main__":
+    main()

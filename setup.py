@@ -1,0 +1,16 @@
+"""Legacy setup shim: this environment is offline and has no `wheel`
+package, so editable installs must go through `setup.py develop`."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Zeus: locality-aware distributed transactions (EuroSys 2021) — "
+        "protocol-level reproduction on a deterministic discrete-event simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

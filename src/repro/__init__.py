@@ -1,0 +1,60 @@
+"""Zeus: locality-aware distributed transactions (EuroSys 2021).
+
+A protocol-level reproduction of the Zeus datastore on a deterministic
+discrete-event simulator: the reliable ownership protocol, the pipelined
+reliable commit protocol, local read-only transactions from all replicas,
+a locality-enforcing load balancer, static-sharding distributed-commit
+baselines, and the paper's full benchmark suite (Handovers, Smallbank,
+TATP, Voter) plus the three legacy-application ports.
+
+Quickstart::
+
+    from repro import Catalog, ZeusCluster
+
+    catalog = Catalog(num_nodes=3, replication_degree=3)
+    acct = catalog.create_object("accounts", "alice", owner=0)
+    cluster = ZeusCluster(num_nodes=3, catalog=catalog)
+    cluster.load(init_value=100)
+
+    def deposit(api):
+        result = yield from api.execute_write(thread=0, write_set=[acct])
+        assert result.committed
+
+    cluster.spawn_app(0, 0, deposit(cluster.handles[0].api))
+    cluster.run(until=10_000)
+"""
+
+from .harness.zeus_cluster import ZeusCluster, ZeusHandle
+from .ownership.manager import AcquireOutcome, OwnershipManager
+from .ownership.messages import NackReason, ReqType
+from .sim.params import FaultParams, NetParams, SimParams
+from .store.catalog import Catalog, ObjectId
+from .store.meta import AccessLevel, Ots, OState, ReplicaSet, TState
+from .txn.api import TxnResult, ZeusAPI
+from .txn.errors import AbortReason, TxnAborted
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ZeusCluster",
+    "ZeusHandle",
+    "ZeusAPI",
+    "TxnResult",
+    "TxnAborted",
+    "AbortReason",
+    "Catalog",
+    "ObjectId",
+    "SimParams",
+    "NetParams",
+    "FaultParams",
+    "OwnershipManager",
+    "AcquireOutcome",
+    "ReqType",
+    "NackReason",
+    "OState",
+    "TState",
+    "AccessLevel",
+    "Ots",
+    "ReplicaSet",
+    "__version__",
+]

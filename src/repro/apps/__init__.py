@@ -1,0 +1,29 @@
+"""Legacy applications ported onto Zeus (Section 8.5)."""
+
+from .driver import OpenLoopSource, RequestQueue, serve_queue
+from .gateway import GATEWAY_TABLES, CellularGateway, build_gateway_catalog
+from .nginx import NginxServer, build_nginx_catalog
+from .remote_kv import RemoteKvClient, RemoteKvServer
+from .sctp import (
+    SCTP_STATE_BYTES,
+    SctpEndpoint,
+    build_sctp_catalog,
+    vanilla_packet_cost_us,
+)
+
+__all__ = [
+    "CellularGateway",
+    "build_gateway_catalog",
+    "GATEWAY_TABLES",
+    "SctpEndpoint",
+    "build_sctp_catalog",
+    "vanilla_packet_cost_us",
+    "SCTP_STATE_BYTES",
+    "NginxServer",
+    "build_nginx_catalog",
+    "RemoteKvServer",
+    "RemoteKvClient",
+    "OpenLoopSource",
+    "RequestQueue",
+    "serve_queue",
+]

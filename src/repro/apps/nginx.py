@@ -1,0 +1,87 @@
+"""Nginx session-persistence routing over Zeus (Section 8.5, Figure 15).
+
+Nginx runs as an application-layer load balancer: it extracts a session
+cookie from each HTTP request and routes to the back-end pinned for that
+cookie.  Session persistence is a paid feature upstream, so the paper
+implements it over the Zeus datastore: cookie found → route to the stored
+destination; not found → pick a back-end, store the mapping (replicated
+over two nodes), route.
+
+Two backends are modeled: ``zeus`` (a read transaction per lookup, a write
+transaction per new session) and ``memory`` (a plain dict — the vanilla
+upper bound).  The figure's point is that they coincide: request parsing
+dominates, so persistence-with-replication is free, and the Nginx tier
+scales in and out seamlessly because session state is in the datastore,
+not the process.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..harness.zeus_cluster import ZeusHandle
+from ..store.catalog import Catalog
+
+__all__ = ["NginxServer", "build_nginx_catalog", "SESSION_SIZE"]
+
+SESSION_SIZE = 64
+
+#: HTTP parsing + proxying CPU per request (µs) — the app bottleneck.
+REQUEST_US = 18.0
+
+
+def build_nginx_catalog(num_nodes: int, sessions: int) -> Catalog:
+    """One session row per possible cookie, striped across nodes."""
+    catalog = Catalog(num_nodes, replication_degree=min(2, num_nodes))
+    catalog.add_table("session", SESSION_SIZE)
+    for cookie in range(sessions):
+        catalog.create_object("session", cookie,
+                              owner=cookie * num_nodes // sessions)
+    return catalog
+
+
+class NginxServer:
+    """One Nginx instance (single worker core, as in the paper)."""
+
+    def __init__(self, mode: str, backends: int,
+                 zeus: Optional[ZeusHandle] = None,
+                 catalog: Optional[Catalog] = None,
+                 thread: int = 0, seed: int = 3):
+        if mode not in ("zeus", "memory"):
+            raise ValueError(f"unknown nginx mode {mode!r}")
+        if mode == "zeus" and (zeus is None or catalog is None):
+            raise ValueError("zeus mode needs a handle and catalog")
+        self.mode = mode
+        self.backends = backends
+        self.zeus = zeus
+        self.catalog = catalog
+        self.thread = thread
+        self.rng = random.Random(seed)
+        self._memory: Dict[int, int] = {}
+        self.forwarded = 0
+        self.sessions_created = 0
+
+    def handle_request(self, cookie: int):
+        """Generator: route one HTTP request by its session cookie."""
+        yield REQUEST_US
+        if self.mode == "memory":
+            dest = self._memory.get(cookie)
+            if dest is None:
+                dest = self.rng.randrange(self.backends)
+                self._memory[cookie] = dest
+                self.sessions_created += 1
+        else:
+            oid = self.catalog.oid("session", cookie)
+            result = yield from self.zeus.api.execute_read(
+                self.thread, read_set=[oid], exec_us=0.2)
+            dest = self.zeus.api.peek(oid) if result.committed else None
+            if not dest:
+                dest = 1 + self.rng.randrange(self.backends)
+                write = yield from self.zeus.api.execute_write(
+                    self.thread, write_set=[oid], exec_us=0.2,
+                    compute=lambda _oid, _old: dest)
+                if write.committed:
+                    self.sessions_created += 1
+        self.forwarded += 1
+        return dest

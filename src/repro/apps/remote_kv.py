@@ -1,0 +1,92 @@
+"""A Redis-like blocking remote key-value store (Figure 13's comparator).
+
+The paper tests the packet gateway against "an off-the-shelf Redis
+datastore without replication": a single remote server reached over
+*kernel* networking, with the application thread blocking on every
+request — the anti-pattern that motivates Zeus's pipelined local commits.
+
+The model charges the kernel TCP/IP stack's latency (tens of µs each way,
+versus ~2µs for the DPDK fabric everything else uses) plus server-side
+dictionary work, and the client generator blocks for the full round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..cluster.node import Node
+from ..net.message import Message
+from ..sim.process import Future
+
+__all__ = ["RemoteKvServer", "RemoteKvClient"]
+
+KIND_KV_REQ = "kv.req"
+KIND_KV_REPLY = "kv.reply"
+
+#: Extra one-way latency of the kernel network stack vs. kernel-bypass.
+KERNEL_STACK_US = 28.0
+#: Server-side cost per op (hashtable + protocol parsing).
+SERVER_OP_US = 1.5
+
+
+class RemoteKvServer:
+    """The store: a dictionary on one node, reached by RPC."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.table: Dict[Any, Any] = {}
+        self.ops = 0
+        node.register_handler(KIND_KV_REQ, self._on_req, cost=SERVER_OP_US)
+
+    def _on_req(self, msg: Message) -> None:
+        rpc_id, op, key, value = msg.payload
+        self.ops += 1
+        if op == "set":
+            self.table[key] = value
+            reply = True
+        else:
+            reply = self.table.get(key)
+        # The kernel stack tax applies on the reply path too.
+        self.node.sim.call_after(
+            KERNEL_STACK_US,
+            self.node.send, msg.src, KIND_KV_REPLY, (rpc_id, reply), 64)
+
+
+class RemoteKvClient:
+    """Blocking client: one outstanding request per application thread."""
+
+    def __init__(self, node: Node, server_id: int):
+        self.node = node
+        self.sim = node.sim
+        self.server_id = server_id
+        self._next_rpc = 0
+        self._pending: Dict[int, Future] = {}
+        node.register_handler(KIND_KV_REPLY, self._on_reply)
+
+    def _on_reply(self, msg: Message) -> None:
+        rpc_id, reply = msg.payload
+        fut = self._pending.pop(rpc_id, None)
+        if fut is not None and not fut.done():
+            fut.set_result(reply)
+
+    def _call(self, op: str, key: Any, value: Any):
+        rpc_id = self._next_rpc
+        self._next_rpc += 1
+        fut = Future(self.sim)
+        self._pending[rpc_id] = fut
+        # Outbound kernel-stack traversal before the wire.
+        yield KERNEL_STACK_US
+        self.node.send(self.server_id, KIND_KV_REQ,
+                       (rpc_id, op, key, value), 96)
+        reply = yield fut
+        return reply
+
+    def get(self, key: Any):
+        """Generator: blocking GET."""
+        reply = yield from self._call("get", key, None)
+        return reply
+
+    def set(self, key: Any, value: Any):
+        """Generator: blocking SET."""
+        reply = yield from self._call("set", key, value)
+        return reply

@@ -1,0 +1,15 @@
+"""Static-sharding distributed-commit baselines (FaSST/FaRM/DrTM-like)."""
+
+from .cluster import BaselineCluster
+from .engine import BaselineEngine, BaselineResult
+from .profiles import DRTM, FARM, FASST, BaselineProfile
+
+__all__ = [
+    "BaselineEngine",
+    "BaselineResult",
+    "BaselineCluster",
+    "BaselineProfile",
+    "FASST",
+    "FARM",
+    "DRTM",
+]

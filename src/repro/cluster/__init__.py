@@ -1,0 +1,7 @@
+"""Cluster substrate: nodes, lease-based membership with epochs, failures."""
+
+from .failure import FailureInjector
+from .membership import MembershipService, View
+from .node import Node
+
+__all__ = ["Node", "MembershipService", "View", "FailureInjector"]

@@ -1,0 +1,40 @@
+"""Crash-stop fault injection.
+
+Schedules node crashes at chosen simulated times; the membership service's
+lease machinery then detects the failure and installs a new epoch, which is
+what triggers the Zeus recovery paths (ownership arb-replay, reliable-commit
+replay).  Crash-stop is the paper's failure model (Section 3.1) — crashed
+nodes never return.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..sim.kernel import Simulator
+from .node import Node
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Deterministic crash scheduler."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.crashed: List[Tuple[float, int]] = []
+
+    def crash_at(self, node: Node, time_us: float) -> None:
+        """Crash ``node`` at absolute simulated time ``time_us``."""
+        self.sim.call_at(time_us, self._crash, node)
+
+    def crash_after(self, node: Node, delay_us: float) -> None:
+        self.sim.call_after(delay_us, self._crash, node)
+
+    def crash_now(self, node: Node) -> None:
+        self._crash(node)
+
+    def _crash(self, node: Node) -> None:
+        if node.alive:
+            node.crash()
+            self.crashed.append((self.sim.now, node.node_id))

@@ -1,0 +1,117 @@
+"""Reliable membership with leases and epochs.
+
+Zeus "uses a reliable membership with leases to deal with the uncertainty
+of detecting node failures.  Each membership update is tagged with a
+monotonically increasing epoch id and is performed across the deployment
+only after all node leases have expired" (Section 3.1) — i.e. a
+ZooKeeper-with-leases design.
+
+We model the membership service as a logical, always-available entity (as
+the paper does: it is infrastructure, not one of the six datastore nodes).
+Nodes renew leases via periodic heartbeats; the service declares a node
+failed only after its lease lapses, then waits a full lease interval before
+installing the new epoch — guaranteeing that by the time any live node acts
+on the new view, the dead node can no longer be acting on the old one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..net.message import NodeId
+from ..sim.kernel import Simulator
+from ..sim.params import SimParams
+from .node import Node
+
+__all__ = ["MembershipService", "View"]
+
+
+class View:
+    """An installed membership view."""
+
+    __slots__ = ("epoch", "live")
+
+    def __init__(self, epoch: int, live: frozenset):
+        self.epoch = epoch
+        self.live = live
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"View(e={self.epoch}, live={sorted(self.live)})"
+
+
+class MembershipService:
+    """Lease-based failure detection + epoch-tagged view installation."""
+
+    def __init__(self, sim: Simulator, params: SimParams, nodes: List[Node]):
+        self.sim = sim
+        self.params = params
+        self.nodes: Dict[NodeId, Node] = {n.node_id: n for n in nodes}
+        self.view = View(1, frozenset(self.nodes))
+        self._last_heartbeat: Dict[NodeId, float] = {nid: 0.0 for nid in self.nodes}
+        self._suspected: Dict[NodeId, float] = {}  # node -> lease-expiry time
+        self._pending_install: Optional[float] = None
+        self.view_history: List[View] = [self.view]
+        for node in nodes:
+            node.on_view_change(self.view.epoch, self.view.live)
+
+    def start(self) -> None:
+        """Begin heartbeat collection and the detector scan loop."""
+        for node in self.nodes.values():
+            node.spawn(self._heartbeat_loop(node), name="heartbeat")
+        self.sim.call_after(self.params.heartbeat_us, self._scan)
+
+    # ---------------------------------------------------------- heartbeats
+
+    def _heartbeat_loop(self, node: Node):
+        wire = self.params.net.wire_latency_us
+        while node.alive:
+            # Heartbeat reaches the service one wire latency later.
+            self.sim.call_after(wire, self._record_heartbeat, node.node_id)
+            yield self.params.heartbeat_us
+
+    def _record_heartbeat(self, node_id: NodeId) -> None:
+        self._last_heartbeat[node_id] = self.sim.now
+
+    # ------------------------------------------------------------ detector
+
+    def _scan(self) -> None:
+        now = self.sim.now
+        timeout = 3 * self.params.heartbeat_us
+        for nid in self.view.live:
+            if nid in self._suspected:
+                continue
+            if now - self._last_heartbeat[nid] > timeout:
+                # Suspected: its lease must fully expire before we may act.
+                self._suspected[nid] = now + self.params.lease_us
+        if self._suspected and self._pending_install is None:
+            install_at = max(self._suspected.values())
+            self._pending_install = install_at
+            self.sim.call_at(install_at, self._install_view)
+        self.sim.call_after(self.params.heartbeat_us, self._scan)
+
+    def _install_view(self) -> None:
+        self._pending_install = None
+        expired = {nid for nid, t in self._suspected.items() if t <= self.sim.now}
+        if not expired:
+            return
+        for nid in expired:
+            del self._suspected[nid]
+        live = frozenset(self.view.live - expired)
+        self.view = View(self.view.epoch + 1, live)
+        self.view_history.append(self.view)
+        wire = self.params.net.wire_latency_us
+        for nid in live:
+            node = self.nodes[nid]
+            self.sim.call_after(wire, node.on_view_change, self.view.epoch, live)
+
+    # -------------------------------------------------------------- helper
+
+    def force_remove(self, node_id: NodeId) -> None:
+        """Test helper: install a view without waiting for lease expiry."""
+        if node_id not in self.view.live:
+            return
+        live = frozenset(self.view.live - {node_id})
+        self.view = View(self.view.epoch + 1, live)
+        self.view_history.append(self.view)
+        for nid in live:
+            self.sim.call_soon(self.nodes[nid].on_view_change, self.view.epoch, live)

@@ -1,0 +1,131 @@
+"""A Zeus server node.
+
+Each node owns (Section 7):
+
+* a pool of pinned **datastore worker threads** (modeled as a
+  :class:`~repro.sim.resources.CpuPool`) that handle protocol messages,
+* a set of pinned **application threads** (one :class:`CpuServer` each) on
+  which workload transactions execute, and
+* a :class:`~repro.net.reliable.ReliableTransport` endpoint.
+
+Protocol modules register message handlers by kind; the node charges
+per-message CPU to the worker pool and dispatches the handler once the
+modeled work would have completed, so worker-pool saturation shows up as
+protocol latency exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..net.message import Message, NodeId
+from ..net.network import Network
+from ..sim.kernel import Simulator
+from ..sim.params import SimParams
+from ..sim.process import Process
+from ..sim.resources import CpuPool, CpuServer
+
+__all__ = ["Node"]
+
+HandlerFn = Callable[[Message], None]
+CostFn = Union[float, Callable[[Any], float]]
+
+
+class Node:
+    """One server: transport endpoint + worker pool + app threads."""
+
+    def __init__(self, sim: Simulator, node_id: NodeId, params: SimParams,
+                 network: Network):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.network = network
+        self.pool = CpuPool(sim, params.worker_threads, name=f"n{node_id}.pool")
+        self.app_cpus: List[CpuServer] = [
+            CpuServer(sim, name=f"n{node_id}.app{i}") for i in range(params.app_threads)
+        ]
+        from ..net.reliable import ReliableTransport  # local import: avoid cycle
+
+        self.transport = ReliableTransport(sim, network, node_id, params.net, self._dispatch)
+        self._handlers: Dict[str, Tuple[HandlerFn, CostFn]] = {}
+        self.alive = True
+        #: Current membership epoch as known by this node.
+        self.epoch = 1
+        #: Live-node view as known by this node.
+        self.live_nodes: frozenset = frozenset()
+        self._processes: List[Process] = []
+        self._view_listeners: List[Callable[[int, frozenset], None]] = []
+        self.counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------ plumbing
+
+    def register_handler(self, kind: str, fn: HandlerFn, cost: CostFn = 0.0) -> None:
+        """Route messages of ``kind`` to ``fn``; ``cost`` is extra worker
+        CPU per message (a float, or ``fn(payload) -> float``)."""
+        if kind in self._handlers:
+            raise ValueError(f"handler for {kind!r} already registered")
+        self._handlers[kind] = (fn, cost)
+
+    def send(self, dst: NodeId, kind: str, payload: Any, size_bytes: int) -> None:
+        """Reliably send a protocol message, charging send-side CPU."""
+        if not self.alive:
+            return
+        net = self.params.net
+        self.pool.charge(net.msg_cpu_us + net.reliable_overhead_us)
+        self.transport.send(dst, kind, payload, size_bytes)
+
+    def _dispatch(self, msg: Message) -> None:
+        if not self.alive:
+            return
+        entry = self._handlers.get(msg.kind)
+        if entry is None:
+            raise KeyError(f"node {self.node_id}: no handler for {msg.kind!r}")
+        fn, cost = entry
+        extra = cost(msg.payload) if callable(cost) else cost
+        net = self.params.net
+        ready_at = self.pool.charge(net.msg_cpu_us + net.reliable_overhead_us + extra)
+        self.sim.call_at(ready_at, self._run_handler, fn, msg)
+
+    def _run_handler(self, fn: HandlerFn, msg: Message) -> None:
+        if self.alive:
+            fn(msg)
+
+    # ----------------------------------------------------------- processes
+
+    def spawn(self, gen, name: str = "proc") -> Process:
+        """Run a generator as a process tied to this node's lifetime."""
+        proc = Process(self.sim, gen, name=f"n{self.node_id}.{name}")
+        self._processes.append(proc)
+        return proc
+
+    # ------------------------------------------------------------ liveness
+
+    def crash(self) -> None:
+        """Crash-stop: the node stops sending, receiving and executing."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.transport.stop()
+        self.network.set_down(self.node_id)
+        for proc in self._processes:
+            proc.kill()
+        self._processes.clear()
+
+    # --------------------------------------------------------- view change
+
+    def add_view_listener(self, fn: Callable[[int, frozenset], None]) -> None:
+        self._view_listeners.append(fn)
+
+    def on_view_change(self, epoch: int, live: frozenset) -> None:
+        """Called by the membership service when a new view is installed."""
+        if not self.alive:
+            return
+        if self.live_nodes and epoch <= self.epoch:
+            return
+        self.epoch = epoch
+        self.live_nodes = live
+        for fn in self._view_listeners:
+            fn(epoch, live)
+
+    def count(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n

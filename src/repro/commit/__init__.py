@@ -1,0 +1,6 @@
+"""Reliable commit protocol (Section 5): pipelined replication."""
+
+from .manager import CommitManager
+from .messages import PipelineId, RAck, RInv, RVal, Update
+
+__all__ = ["CommitManager", "RInv", "RAck", "RVal", "PipelineId", "Update"]

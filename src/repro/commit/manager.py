@@ -1,0 +1,473 @@
+"""The reliable commit protocol (Section 5).
+
+Coordinator side — invoked by the transaction layer right after a local
+commit.  The application thread is **not** blocked: the slot enters the
+thread's pipeline, the R-INV broadcast goes out, and the thread moves on
+(Section 5.2's non-blocking pipelining).  A slot reliably commits when all
+its followers acked *and* its pipeline predecessor committed; the
+coordinator then validates locally (t_state Write→Valid iff the object's
+version is unchanged) and broadcasts (batched) R-VALs.
+
+Follower side — applies R-INVs in pipeline order under the partial-stream
+rule: slot *n* may be applied only when slot *n−1* was applied here or is
+known validated (prev-VAL bit or an R-VAL).  Applying updates data and
+version (skipping objects whose local version is already newer — the
+idempotence that recovery leans on) and leaves objects Invalid until the
+R-VAL, which is what keeps read-only transactions on readers strictly
+serializable (Section 5.3).
+
+Recovery — on a membership epoch change: a live coordinator re-broadcasts
+its unvalidated slots under the new epoch; a follower of a *dead*
+coordinator replays every R-INV it has applied-but-not-validated (and only
+those — the paper's rule) to the remaining followers, then validates with
+exact-slot (non-cumulative) R-VALs.  When a node has no pending commits
+from dead coordinators left, it reports recovery to the ownership layer,
+which lifts the per-epoch barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..cluster.node import Node
+from ..net.message import Message, NodeId
+from ..sim.process import Event, Future
+from ..store.catalog import Catalog, ObjectId
+from ..store.meta import TState
+from ..store.object_store import ObjectStore
+from .messages import (
+    KIND_RACK,
+    KIND_RINV,
+    KIND_RVAL,
+    PipelineId,
+    RAck,
+    RInv,
+    RVal,
+    Update,
+)
+
+__all__ = ["CommitManager"]
+
+_VAL_FLUSH_DELAY_US = 3.0
+_ACK_FLUSH_DELAY_US = 2.0
+
+
+class _Slot:
+    """Coordinator-side state of one pending reliable commit."""
+
+    __slots__ = ("inv", "needed", "acked", "extras", "future", "submitted_at")
+
+    def __init__(self, inv: RInv, submitted_at: float):
+        self.inv = inv
+        self.needed: Set[NodeId] = set(inv.followers)
+        self.acked: Set[NodeId] = set()
+        #: Followers of the *next* slot that must be included in this
+        #: slot's R-VAL broadcast (partial-stream rule).
+        self.extras: Set[NodeId] = set()
+        self.future: Optional[Future] = None
+        self.submitted_at = submitted_at
+
+
+class _CoordPipeline:
+    """One per application thread (Section 7: per-thread pipelines)."""
+
+    __slots__ = ("next_slot", "validated_upto", "slots", "room")
+
+    def __init__(self):
+        self.next_slot = 0
+        self.validated_upto = -1
+        self.slots: Dict[int, _Slot] = {}
+        self.room: Optional[Event] = None
+
+
+class _FollowerPipeline:
+    """Follower-side view of one remote pipeline."""
+
+    __slots__ = ("settled", "buffer", "applied")
+
+    def __init__(self):
+        #: Highest slot we may build on (applied here or known validated).
+        self.settled = -1
+        #: Received but not yet appliable R-INVs, by slot.
+        self.buffer: Dict[int, RInv] = {}
+        #: Applied but not yet validated: slot -> (inv, [(oid, version)]).
+        self.applied: Dict[int, Tuple[RInv, List[Tuple[ObjectId, int]]]] = {}
+
+
+class CommitManager:
+    """Reliable-commit endpoint on one node (coordinator + follower)."""
+
+    def __init__(self, node: Node, store: ObjectStore, catalog: Catalog,
+                 max_pipeline_depth: int = 32):
+        self.node = node
+        self.sim = node.sim
+        self.node_id = node.node_id
+        self.store = store
+        self.catalog = catalog
+        self.params = node.params
+        self.max_pipeline_depth = max_pipeline_depth
+        self.ownership = None  # wired by the cluster builder
+
+        self._coord: Dict[int, _CoordPipeline] = {}
+        self._follow: Dict[PipelineId, _FollowerPipeline] = {}
+        self._pending_by_oid: Dict[ObjectId, int] = {}
+        self._val_buffer: Dict[NodeId, List[Tuple[PipelineId, int, bool]]] = {}
+        self._val_flush_scheduled = False
+        #: Follower-side cumulative ack coalescing: coordinator -> pipeline
+        #: -> highest applied slot, flushed every _ACK_FLUSH_DELAY_US.
+        self._ack_buffer: Dict[NodeId, Dict[PipelineId, int]] = {}
+        self._ack_flush_scheduled = False
+        #: Replays this node is driving after a coordinator death:
+        #: (pipeline, slot) -> set of followers still to ack.
+        self._replays: Dict[Tuple[PipelineId, int], Set[NodeId]] = {}
+        self._recovering_epoch: Optional[int] = None
+
+        self.commit_latencies_us: List[float] = []
+        self.counters: Dict[str, int] = {}
+
+        node.register_handler(KIND_RINV, self._on_rinv, cost=self._rinv_cost)
+        node.register_handler(KIND_RACK, self._on_rack)
+        node.register_handler(KIND_RVAL, self._on_rval)
+        node.add_view_listener(self._on_view_change)
+
+    def _count(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def _rinv_cost(self, payload: RInv) -> float:
+        p = self.params
+        return (len(payload.updates) * p.rcommit_apply_us
+                + payload.data_bytes * p.apply_us_per_byte)
+
+    # ======================================================================
+    # Coordinator side
+    # ======================================================================
+
+    def pipeline_depth(self, thread: int) -> int:
+        pipe = self._coord.get(thread)
+        return len(pipe.slots) if pipe else 0
+
+    def wait_for_room(self, thread: int):
+        """Generator: blocks while the thread's pipeline is at max depth
+        (back-pressure; the only time replication stalls the app)."""
+        pipe = self._coord.setdefault(thread, _CoordPipeline())
+        while len(pipe.slots) >= self.max_pipeline_depth:
+            if pipe.room is None or pipe.room.is_set():
+                pipe.room = Event(self.sim)
+            yield pipe.room.wait()
+        return None
+
+    def submit(self, thread: int, updates: List[Update],
+               followers: Set[NodeId]) -> Future:
+        """Begin the reliable commit of a locally-committed transaction.
+
+        Non-blocking.  Returns a future completing when the transaction is
+        reliably committed (tests and durability-sensitive apps may wait on
+        it; normal workloads do not).
+        """
+        pipe = self._coord.setdefault(thread, _CoordPipeline())
+        slot_no = pipe.next_slot
+        pipe.next_slot += 1
+        pipeline_id: PipelineId = (self.node_id, thread)
+        live = self.node.live_nodes
+        follower_set = tuple(sorted(f for f in followers
+                                    if f != self.node_id and f in live))
+
+        prev_done = pipe.validated_upto >= slot_no - 1
+        inv = RInv(pipeline_id, slot_no, self.node.epoch, follower_set,
+                   updates, prev_val=prev_done)
+        slot = _Slot(inv, self.sim.now)
+        slot.future = Future(self.sim)
+        pipe.slots[slot_no] = slot
+        for oid, _ver, _data, _size in updates:
+            self._pending_by_oid[oid] = self._pending_by_oid.get(oid, 0) + 1
+        self._count("submitted")
+
+        if not prev_done and slot_no > 0:
+            prev_slot = pipe.slots.get(slot_no - 1)
+            if prev_slot is not None:
+                # Followers of this slot that were not followers of the
+                # previous one must be told when it validates (§5.2).
+                for f in follower_set:
+                    if f not in prev_slot.needed:
+                        prev_slot.extras.add(f)
+
+        self.node.pool.charge(self.params.rcommit_coord_us)
+        for f in follower_set:
+            self.node.send(f, KIND_RINV, inv, inv.size)
+        if not follower_set:
+            # Replication degree 1 or all followers dead: commit instantly.
+            self._try_validate(pipe, pipeline_id)
+        return slot.future
+
+    def has_pending(self, oid: ObjectId) -> bool:
+        """True when ``oid`` has an unfinished reliable commit here — the
+        owner-busy condition the ownership protocol checks before agreeing
+        to migrate an object."""
+        return self._pending_by_oid.get(oid, 0) > 0
+
+    def _on_rack(self, msg: Message) -> None:
+        ack: RAck = msg.payload
+        if ack.epoch != self.node.epoch:
+            return
+        for pipeline, slot in ack.entries:
+            replay_key = (pipeline, slot)
+            if replay_key in self._replays:
+                self._on_replay_ack(replay_key, msg.src)
+                continue
+            if pipeline[0] != self.node_id:
+                continue
+            pipe = self._coord.get(pipeline[1])
+            if pipe is None:
+                continue
+            # Cumulative: an ack for slot n acks every earlier slot this
+            # follower participates in (Section 5.2).
+            for slot_no in sorted(pipe.slots):
+                if slot_no > slot:
+                    break
+                pipe.slots[slot_no].acked.add(msg.src)
+            self._try_validate(pipe, pipeline)
+
+    def _try_validate(self, pipe: _CoordPipeline, pipeline_id: PipelineId) -> None:
+        """Validate in slot order every slot whose followers all acked."""
+        while True:
+            nxt = pipe.validated_upto + 1
+            slot = pipe.slots.get(nxt)
+            if slot is None or not (slot.needed <= slot.acked):
+                break
+            pipe.validated_upto = nxt
+            del pipe.slots[nxt]
+            self._validate_local(slot)
+            recipients = set(slot.inv.followers) | slot.extras
+            for f in recipients:
+                self._queue_val(f, pipeline_id, nxt, cumulative=True)
+            self.commit_latencies_us.append(self.sim.now - slot.submitted_at)
+            self._count("committed")
+            if slot.future is not None and not slot.future.done():
+                slot.future.set_result(None)
+            if pipe.room is not None and len(pipe.slots) < self.max_pipeline_depth:
+                pipe.room.set()
+
+    def _validate_local(self, slot: _Slot) -> None:
+        for oid, version, _data, _size in slot.inv.updates:
+            count = self._pending_by_oid.get(oid, 0) - 1
+            if count <= 0:
+                self._pending_by_oid.pop(oid, None)
+            else:
+                self._pending_by_oid[oid] = count
+            obj = self.store.get(oid)
+            if obj is not None and obj.t_version == version:
+                obj.t_state = TState.VALID
+
+    # ------------------------------------------------------- R-VAL batching
+
+    def _queue_val(self, follower: NodeId, pipeline: PipelineId, slot: int,
+                   cumulative: bool) -> None:
+        if follower == self.node_id:
+            return
+        self._val_buffer.setdefault(follower, []).append((pipeline, slot, cumulative))
+        if not self._val_flush_scheduled:
+            self._val_flush_scheduled = True
+            self.sim.call_after(_VAL_FLUSH_DELAY_US, self._flush_vals)
+
+    def _flush_vals(self) -> None:
+        self._val_flush_scheduled = False
+        buffer, self._val_buffer = self._val_buffer, {}
+        for follower, entries in buffer.items():
+            cumulative_max: Dict[PipelineId, int] = {}
+            exact: Set[Tuple[PipelineId, int]] = set()
+            for pipeline, slot, cumulative in entries:
+                if cumulative:
+                    cumulative_max[pipeline] = max(
+                        cumulative_max.get(pipeline, -1), slot)
+                else:
+                    exact.add((pipeline, slot))
+            out = [(pipeline, slot, True)
+                   for pipeline, slot in cumulative_max.items()]
+            out.extend((pipeline, slot, False) for pipeline, slot in exact)
+            val = RVal(out, self.node.epoch)
+            self.node.send(follower, KIND_RVAL, val, val.size)
+
+    # ======================================================================
+    # Follower side
+    # ======================================================================
+
+    def _on_rinv(self, msg: Message) -> None:
+        inv: RInv = msg.payload
+        if inv.epoch != self.node.epoch:
+            return
+        fpipe = self._follow.setdefault(inv.pipeline, _FollowerPipeline())
+        if inv.slot in fpipe.applied or inv.slot <= fpipe.settled:
+            # Duplicate (re-broadcast after epoch change, or replay of a
+            # slot we already applied): just re-ack.
+            self._send_rack(msg.src if inv.replay else inv.pipeline[0], inv)
+            return
+        if inv.prev_val:
+            fpipe.settled = max(fpipe.settled, inv.slot - 1)
+        if inv.replay:
+            # Recovery replays bypass the settled gate: version monotonicity
+            # makes out-of-order application safe and reads are frozen.
+            fpipe.settled = max(fpipe.settled, inv.slot - 1)
+        if inv.slot == fpipe.settled + 1:
+            self._apply_rinv(fpipe, inv, ack_to=msg.src if inv.replay else None)
+            self._drain_buffer(fpipe)
+        else:
+            fpipe.buffer[inv.slot] = inv
+
+    def _drain_buffer(self, fpipe: _FollowerPipeline) -> None:
+        while fpipe.settled + 1 in fpipe.buffer:
+            inv = fpipe.buffer.pop(fpipe.settled + 1)
+            self._apply_rinv(fpipe, inv, ack_to=None)
+
+    def _apply_rinv(self, fpipe: _FollowerPipeline, inv: RInv,
+                    ack_to: Optional[NodeId]) -> None:
+        records: List[Tuple[ObjectId, int]] = []
+        for oid, version, data, _size in inv.updates:
+            obj = self.store.get(oid)
+            if obj is None:
+                continue  # no longer a replica (trimmed mid-flight)
+            if obj.t_version >= version:
+                continue  # newer value already applied: idempotence
+            obj.t_data = data
+            obj.t_version = version
+            obj.t_state = TState.INVALID
+            records.append((oid, version))
+        fpipe.applied[inv.slot] = (inv, records)
+        fpipe.settled = max(fpipe.settled, inv.slot)
+        self._count("applied")
+        self._send_rack(ack_to if ack_to is not None else inv.pipeline[0], inv)
+
+    def _send_rack(self, to: NodeId, inv: RInv) -> None:
+        if inv.replay or to != inv.pipeline[0]:
+            # Recovery acks are rare and latency-critical: send immediately.
+            ack = RAck([(inv.pipeline, inv.slot)], self.node.epoch)
+            self.node.send(to, KIND_RACK, ack, ack.size)
+            return
+        per_coord = self._ack_buffer.setdefault(to, {})
+        prev = per_coord.get(inv.pipeline, -1)
+        per_coord[inv.pipeline] = max(prev, inv.slot)
+        if not self._ack_flush_scheduled:
+            self._ack_flush_scheduled = True
+            self.sim.call_after(_ACK_FLUSH_DELAY_US, self._flush_acks)
+
+    def _flush_acks(self) -> None:
+        self._ack_flush_scheduled = False
+        buffer, self._ack_buffer = self._ack_buffer, {}
+        for coordinator, per_pipe in buffer.items():
+            ack = RAck(list(per_pipe.items()), self.node.epoch)
+            self.node.send(coordinator, KIND_RACK, ack, ack.size)
+
+    def _on_rval(self, msg: Message) -> None:
+        val: RVal = msg.payload
+        if val.epoch != self.node.epoch:
+            return
+        for pipeline, slot, cumulative in val.entries:
+            fpipe = self._follow.get(pipeline)
+            if fpipe is None:
+                fpipe = self._follow.setdefault(pipeline, _FollowerPipeline())
+            if cumulative:
+                targets = [s for s in fpipe.applied if s <= slot]
+                fpipe.settled = max(fpipe.settled, slot)
+            else:
+                targets = [slot] if slot in fpipe.applied else []
+            for s in sorted(targets):
+                _inv, records = fpipe.applied.pop(s)
+                for oid, version in records:
+                    obj = self.store.get(oid)
+                    if obj is not None and obj.t_version == version:
+                        obj.t_state = TState.VALID
+            if cumulative:
+                self._drain_buffer(fpipe)
+        self._maybe_done_recovering()
+
+    # ======================================================================
+    # Recovery
+    # ======================================================================
+
+    def _on_view_change(self, epoch: int, live: frozenset) -> None:
+        # 1. Coordinator: drop dead followers from pending slots and
+        #    re-broadcast unvalidated slots under the new epoch.
+        for thread, pipe in self._coord.items():
+            pipeline_id = (self.node_id, thread)
+            for slot in pipe.slots.values():
+                slot.needed &= live
+                inv = slot.inv
+                inv.epoch = epoch
+                for f in sorted(slot.needed - slot.acked):
+                    self.node.send(f, KIND_RINV, inv, inv.size)
+            self._try_validate(pipe, pipeline_id)
+
+        # 2. Follower: discard buffered-but-unapplied R-INVs from dead
+        #    coordinators; replay applied-but-unvalidated ones.
+        self._recovering_epoch = epoch
+        for pipeline, fpipe in self._follow.items():
+            coord = pipeline[0]
+            if coord in live:
+                continue
+            fpipe.buffer.clear()
+            for slot_no in sorted(fpipe.applied):
+                inv, _records = fpipe.applied[slot_no]
+                self._start_replay(pipeline, slot_no, inv, live, epoch)
+        self._maybe_done_recovering()
+
+    def _start_replay(self, pipeline: PipelineId, slot_no: int, inv: RInv,
+                      live: frozenset, epoch: int) -> None:
+        others = {f for f in inv.followers if f in live and f != self.node_id}
+        key = (pipeline, slot_no)
+        if key in self._replays:
+            return
+        self._count("commit_replay")
+        if not others:
+            # We are the only live follower: validate immediately.
+            self._finish_replay(key, pipeline, slot_no)
+            return
+        self._replays[key] = set(others)
+        replay_inv = RInv(pipeline, slot_no, epoch, inv.followers,
+                          inv.updates, prev_val=inv.prev_val, replay=True)
+        for f in others:
+            self.node.send(f, KIND_RINV, replay_inv, replay_inv.size)
+
+    def _on_replay_ack(self, key: Tuple[PipelineId, int], src: NodeId) -> None:
+        waiting = self._replays.get(key)
+        if waiting is None:
+            return
+        waiting.discard(src)
+        if not waiting:
+            pipeline, slot_no = key
+            inv, _records = self._follow[pipeline].applied.get(slot_no, (None, None))
+            live_followers = []
+            if inv is not None:
+                live_followers = [f for f in inv.followers
+                                  if f in self.node.live_nodes and f != self.node_id]
+            for f in live_followers:
+                self._queue_val(f, pipeline, slot_no, cumulative=False)
+            self._finish_replay(key, pipeline, slot_no)
+
+    def _finish_replay(self, key: Tuple[PipelineId, int],
+                       pipeline: PipelineId, slot_no: int) -> None:
+        self._replays.pop(key, None)
+        fpipe = self._follow.get(pipeline)
+        if fpipe is not None and slot_no in fpipe.applied:
+            _inv, records = fpipe.applied.pop(slot_no)
+            for oid, version in records:
+                obj = self.store.get(oid)
+                if obj is not None and obj.t_version == version:
+                    obj.t_state = TState.VALID
+        self._maybe_done_recovering()
+
+    def _maybe_done_recovering(self) -> None:
+        """Report recovery once no pending commits from dead coordinators
+        remain (the ownership barrier's per-node condition)."""
+        if self._recovering_epoch is None:
+            return
+        live = self.node.live_nodes
+        for pipeline, fpipe in self._follow.items():
+            if pipeline[0] in live:
+                continue
+            if fpipe.applied:
+                return
+            if any(key[0] == pipeline for key in self._replays):
+                return
+        epoch = self._recovering_epoch
+        self._recovering_epoch = None
+        if self.ownership is not None:
+            self.ownership.broadcast_recovered(epoch)

@@ -1,0 +1,96 @@
+"""Reliable-commit wire messages (Section 5, Figure 4).
+
+* ``rc.inv`` — coordinator → followers: idempotent invalidation carrying
+  the transaction id ``(pipeline, slot)``, the epoch, the follower set, and
+  per-object ``(oid, t_version, t_data)``.  The ``prev_val`` bit tells a
+  follower that every earlier slot of this pipeline is already validated
+  (the partial-stream rule of Section 5.2).
+* ``rc.ack`` — follower → coordinator, cumulative per pipeline.
+* ``rc.val`` — coordinator → followers; entries are ``(pipeline, slot,
+  cumulative)``; several validations to the same follower are batched into
+  one message (the paper's piggybacking optimization).
+
+A *pipeline* is ``(node_id, thread_idx)`` — Zeus pipelines per thread, not
+per node (Section 7), which is what lets the local commit's thread
+ownership double as pipeline separation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..net.message import NodeId
+from ..store.catalog import ObjectId
+
+__all__ = ["RInv", "RAck", "RVal", "KIND_RINV", "KIND_RACK", "KIND_RVAL",
+           "PipelineId", "Update"]
+
+KIND_RINV = "rc.inv"
+KIND_RACK = "rc.ack"
+KIND_RVAL = "rc.val"
+
+_META = 8
+
+#: (node_id, thread_idx)
+PipelineId = Tuple[NodeId, int]
+#: (oid, new_version, new_data, size_bytes)
+Update = Tuple[ObjectId, int, Any, int]
+
+
+class RInv:
+    __slots__ = ("pipeline", "slot", "epoch", "followers", "updates",
+                 "prev_val", "replay")
+
+    def __init__(self, pipeline: PipelineId, slot: int, epoch: int,
+                 followers: Tuple[NodeId, ...], updates: List[Update],
+                 prev_val: bool, replay: bool = False):
+        self.pipeline = pipeline
+        self.slot = slot
+        self.epoch = epoch
+        self.followers = followers
+        self.updates = updates
+        self.prev_val = prev_val
+        self.replay = replay
+
+    @property
+    def size(self) -> int:
+        data = sum(u[3] for u in self.updates)
+        return (5 + len(self.followers) + 2 * len(self.updates)) * _META + data
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(u[3] for u in self.updates)
+
+
+class RAck:
+    """Batched cumulative acks: entries are (pipeline, highest slot).
+
+    Acking slot *n* implies successful reception and processing of every
+    earlier slot of that pipeline this follower participates in (§5.2);
+    a follower coalesces acks within a short window, as a DPDK
+    implementation batches packets per peer.
+    """
+
+    __slots__ = ("entries", "epoch")
+
+    def __init__(self, entries: List[Tuple[PipelineId, int]], epoch: int):
+        self.entries = entries
+        self.epoch = epoch
+
+    @property
+    def size(self) -> int:
+        return (1 + 3 * len(self.entries)) * _META
+
+
+class RVal:
+    """Batched validations: each entry is (pipeline, slot, cumulative)."""
+
+    __slots__ = ("entries", "epoch")
+
+    def __init__(self, entries: List[Tuple[PipelineId, int, bool]], epoch: int):
+        self.entries = entries
+        self.epoch = epoch
+
+    @property
+    def size(self) -> int:
+        return (1 + 3 * len(self.entries)) * _META

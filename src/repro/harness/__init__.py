@@ -1,0 +1,13 @@
+"""Experiment harness: cluster assembly, metrics, drivers, tables."""
+
+from .metrics import LatencyRecorder, ThroughputMeter, cdf_points, percentile
+from .zeus_cluster import ZeusCluster, ZeusHandle
+
+__all__ = [
+    "ZeusCluster",
+    "ZeusHandle",
+    "ThroughputMeter",
+    "LatencyRecorder",
+    "percentile",
+    "cdf_points",
+]

@@ -1,0 +1,178 @@
+"""Command-line experiment runner: ``python -m repro <command>``.
+
+Convenience entry points for the common flows so users do not need pytest
+to explore the system:
+
+* ``python -m repro quickstart``            — the README tour
+* ``python -m repro verify [--seeds N]``    — model checkers + explorer
+* ``python -m repro locality``              — the §8 locality analyses
+* ``python -m repro smallbank [--remote F]``— one Zeus-vs-baseline point
+* ``python -m repro list``                  — the benchmark catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_quickstart(_args) -> int:
+    import os
+    import runpy
+
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    script = os.path.join(here, "examples", "quickstart.py")
+    if not os.path.exists(script):
+        print("examples/quickstart.py not found (installed without repo?)")
+        return 1
+    runpy.run_path(script, run_name="__main__")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from ..verify import (
+        ExplorerConfig,
+        check_commit_model,
+        check_ownership_model,
+        explore,
+    )
+
+    ownership = check_ownership_model()
+    print(f"ownership model : {ownership}")
+    commit = check_commit_model()
+    print(f"commit model    : {commit}")
+    swept = explore(seeds=args.seeds,
+                    cfg=ExplorerConfig(txns_per_node=args.txns))
+    print(f"explorer        : {swept.seeds_run} histories "
+          f"({swept.histories_with_crash} with crashes), "
+          f"{swept.committed_total} txns committed")
+    for violation in swept.violations:
+        print(f"  VIOLATION: {violation}")
+    for issue in swept.nonquiescent:
+        print(f"  NON-QUIESCENT: {issue}")
+    ok = (ownership.ok and commit.ok and not swept.violations
+          and not swept.nonquiescent)
+    print("verdict         :", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_locality(_args) -> int:
+    from ..workloads import MobilityModel, TpccAnalysis, VenmoGraph
+
+    print("Boston mobility (remote handover fraction):")
+    for nodes in (2, 3, 4, 6):
+        model = MobilityModel(nodes)
+        print(f"  {nodes} nodes: analytic {model.analytic_remote_fraction():.1%}, "
+              f"measured {model.measure_remote_fraction():.1%}")
+    graph = VenmoGraph()
+    print("Venmo payment graph (remote transactions):")
+    for nodes in (3, 6):
+        print(f"  {nodes} nodes: {graph.measure_remote_fraction(nodes):.2%}")
+    tpcc = TpccAnalysis()
+    print(f"TPC-C remote fraction (per-line convention): "
+          f"{tpcc.remote_fraction(per_line=True):.2%}  (paper: 2.45%)")
+    return 0
+
+
+def _cmd_smallbank(args) -> int:
+    from ..baselines import FASST, BaselineCluster
+    from ..sim.params import SimParams
+    from ..workloads import (
+        SmallbankWorkload,
+        run_baseline_workload,
+        run_zeus_workload,
+    )
+    from .zeus_cluster import ZeusCluster
+
+    duration = 6_000.0
+    params = SimParams().scaled_threads(app=4, worker=4)
+
+    wl = SmallbankWorkload(args.nodes, accounts_per_node=1_500,
+                           remote_frac=args.remote)
+    zeus = ZeusCluster(args.nodes, params=params, catalog=wl.catalog)
+    zeus.load(init_value=1_000)
+    zstats = run_zeus_workload(zeus, wl.spec_for, duration_us=duration,
+                               threads=4)
+
+    wl_b = SmallbankWorkload(args.nodes, accounts_per_node=1_500,
+                             remote_frac=args.remote, track_migration=False)
+    base = BaselineCluster(args.nodes, FASST, params=params,
+                           catalog=wl_b.catalog)
+    base.load(1_000)
+    bstats = run_baseline_workload(base, wl_b.spec_for, duration_us=duration,
+                                   threads=4)
+
+    ztps = zstats.throughput_tps(duration)
+    btps = bstats.throughput_tps(duration)
+    print(f"Smallbank, {args.nodes} nodes, {args.remote:.0%} remote writes:")
+    print(f"  Zeus        : {ztps/1e6:.2f} Mtps "
+          f"({zstats.ownership_requests} ownership requests)")
+    print(f"  FaSST-like  : {btps/1e6:.2f} Mtps")
+    print(f"  ratio       : {ztps/btps:.2f}x")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    table = [
+        ("T2", "benchmarks/test_table2_benchmarks.py", "benchmark summary"),
+        ("L1", "benchmarks/test_locality_analysis.py", "locality analyses"),
+        ("F7", "benchmarks/test_fig7_handovers.py", "handovers vs ideal"),
+        ("F8", "benchmarks/test_fig8_smallbank.py", "smallbank sweep"),
+        ("F9", "benchmarks/test_fig9_tatp.py", "tatp sweep"),
+        ("F10", "benchmarks/test_fig10_voter_migration.py", "bulk migration"),
+        ("F11", "benchmarks/test_fig11_voter_concurrent.py",
+         "migration under load"),
+        ("F12", "benchmarks/test_fig12_ownership_latency.py", "latency CDF"),
+        ("F13", "benchmarks/test_fig13_gateway.py", "packet gateway"),
+        ("F14", "benchmarks/test_fig14_sctp.py", "SCTP throughput"),
+        ("F15", "benchmarks/test_fig15_nginx.py", "nginx scale-out"),
+        ("V1", "benchmarks/test_verification.py", "model checking"),
+        ("A1", "benchmarks/test_ablation_pipelining.py", "pipelining"),
+        ("A2", "benchmarks/test_ablation_replication.py", "replication"),
+        ("A3", "benchmarks/test_ablation_readonly.py", "reads on replicas"),
+        ("A4", "benchmarks/test_ablation_ownership_hops.py", "hops"),
+        ("A5", "benchmarks/test_ablation_directory.py", "directory modes"),
+    ]
+    print("Experiment catalog (run with pytest <file> --benchmark-only -s):")
+    for eid, path, desc in table:
+        print(f"  {eid:<4} {path:<48} {desc}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Zeus reproduction — experiment runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickstart", help="run the README tour")
+
+    p_verify = sub.add_parser("verify", help="model checkers + explorer")
+    p_verify.add_argument("--seeds", type=int, default=20)
+    p_verify.add_argument("--txns", type=int, default=15)
+
+    sub.add_parser("locality", help="§8 locality analyses")
+
+    p_small = sub.add_parser("smallbank", help="one Zeus-vs-FaSST point")
+    p_small.add_argument("--nodes", type=int, default=3)
+    p_small.add_argument("--remote", type=float, default=0.01)
+
+    sub.add_parser("list", help="experiment catalog")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "quickstart": _cmd_quickstart,
+        "verify": _cmd_verify,
+        "locality": _cmd_locality,
+        "smallbank": _cmd_smallbank,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Plain-text tables and series formatting for experiment output.
+
+Every benchmark prints the rows/series its paper figure or table reports,
+and also writes them under ``results/`` so EXPERIMENTS.md can reference
+stable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "ascii_series", "save_result", "results_dir"]
+
+
+def results_dir() -> str:
+    """The repo-level results directory (created on demand)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    path = os.path.join(here, "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """A fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if _numeric(cell)
+                               else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_series(points: Sequence[Tuple[float, float]], width: int = 60,
+                 height: int = 12, label: str = "") -> str:
+    """A rough ASCII plot of one (x, y) series — enough to eyeball the
+    shape of a timeline in terminal output."""
+    if not points:
+        return f"{label}: (no data)"
+    ys = [y for _x, y in points]
+    y_max = max(ys) or 1.0
+    lines = [f"{label}  (max {y_max:,.0f})"]
+    cols = min(width, len(points))
+    step = max(1, len(points) // cols)
+    sampled = [points[i] for i in range(0, len(points), step)][:cols]
+    for level in range(height, 0, -1):
+        threshold = y_max * level / height
+        row = "".join("#" if y >= threshold else " " for _x, y in sampled)
+        lines.append(f"{threshold:10,.0f} |{row}")
+    lines.append(" " * 11 + "+" + "-" * len(sampled))
+    return "\n".join(lines)
+
+
+def save_result(name: str, payload: Dict[str, Any]) -> str:
+    """Persist an experiment's numbers as JSON under results/."""
+    path = os.path.join(results_dir(), f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+    return path
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell.replace(",", ""))
+        return True
+    except ValueError:
+        return False

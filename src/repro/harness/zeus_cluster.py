@@ -1,0 +1,156 @@
+"""Cluster assembly: wires simulator, network, nodes, protocols, and data.
+
+This is the entry point almost every example, test, and benchmark uses::
+
+    catalog = Catalog(num_nodes=3, replication_degree=3)
+    oid = catalog.create_object("accounts", "alice", owner=0)
+    cluster = ZeusCluster(num_nodes=3, catalog=catalog)
+    cluster.load()
+    h = cluster.handles[0]
+    cluster.spawn_app(0, 0, my_txn_generator(h))
+    cluster.run(until=1_000_000)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..cluster.failure import FailureInjector
+from ..cluster.membership import MembershipService
+from ..cluster.node import Node
+from ..commit.manager import CommitManager
+from ..net.fault import FaultInjector
+from ..net.network import Network
+from ..ownership.manager import OwnershipManager
+from ..sim.kernel import Simulator
+from ..sim.params import SimParams
+from ..sim.process import Process
+from ..sim.rng import RngRegistry
+from ..store.catalog import Catalog, ObjectId
+from ..store.directory import DirectoryTable
+from ..store.object_store import ObjectStore
+from ..txn.api import ZeusAPI
+
+__all__ = ["ZeusCluster", "ZeusHandle"]
+
+
+class ZeusHandle:
+    """Everything attached to one node, bundled for convenient access."""
+
+    __slots__ = ("node", "store", "directory", "ownership", "commit", "api")
+
+    def __init__(self, node: Node, store: ObjectStore,
+                 directory: Optional[DirectoryTable],
+                 ownership: OwnershipManager, commit: CommitManager,
+                 api: ZeusAPI):
+        self.node = node
+        self.store = store
+        self.directory = directory
+        self.ownership = ownership
+        self.commit = commit
+        self.api = api
+
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+
+class ZeusCluster:
+    """A complete simulated Zeus deployment."""
+
+    def __init__(self, num_nodes: int = 3,
+                 params: Optional[SimParams] = None,
+                 catalog: Optional[Catalog] = None,
+                 seed: int = 0,
+                 max_pipeline_depth: int = 32):
+        self.params = params or SimParams()
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.catalog = catalog or Catalog(num_nodes, self.params.replication_degree)
+        if self.catalog.num_nodes != num_nodes:
+            raise ValueError("catalog was built for a different cluster size")
+
+        faults = FaultInjector(self.params.faults, self.rng.stream("net.faults"))
+        self.network = Network(self.sim, self.params.net, faults,
+                               jitter_rng=self.rng.stream("net.jitter"))
+        self.faults = faults
+
+        self.handles: List[ZeusHandle] = []
+        for nid in range(num_nodes):
+            node = Node(self.sim, nid, self.params, self.network)
+            store = ObjectStore(nid)
+            directory = (DirectoryTable(nid)
+                         if self.catalog.hosts_directory(nid) else None)
+            ownership = OwnershipManager(node, store, self.catalog, directory)
+            commit = CommitManager(node, store, self.catalog,
+                                   max_pipeline_depth=max_pipeline_depth)
+            ownership.commit_mgr = commit
+            commit.ownership = ownership
+            api = ZeusAPI(node, store, self.catalog, ownership, commit,
+                          rng=self.rng.stream(f"api.{nid}"))
+            self.handles.append(ZeusHandle(node, store, directory, ownership,
+                                           commit, api))
+
+        self.nodes = [h.node for h in self.handles]
+        self.membership = MembershipService(self.sim, self.params, self.nodes)
+        self.failures = FailureInjector(self.sim)
+        self._loaded = False
+
+    # ------------------------------------------------------------ data load
+
+    def load(self, init_value: Any = 0,
+             values: Optional[Dict[ObjectId, Any]] = None) -> None:
+        """Materialize every catalog object on its replicas and register it
+        in the directory (the paper's pre-sharded initial state)."""
+        for oid in range(self.catalog.num_objects):
+            replicas = self.catalog.initial_replicas(oid)
+            value = values.get(oid, init_value) if values else init_value
+            for dnode in self.catalog.directory_nodes_for(oid):
+                self.handles[dnode].directory.create(oid, replicas)
+            owner = replicas.owner
+            self.handles[owner].store.create(oid, value, replicas)
+            for reader in replicas.readers:
+                self.handles[reader].store.create(oid, value, None)
+        self._loaded = True
+
+    # ------------------------------------------------------------ execution
+
+    def start_membership(self) -> None:
+        """Enable heartbeats + failure detection (only needed by failure
+        experiments; fault-free runs skip the heartbeat event load)."""
+        self.membership.start()
+
+    def spawn_app(self, node_id: int, thread: int,
+                  gen: Generator, name: Optional[str] = None) -> Process:
+        """Run ``gen`` as an application-thread process on a node."""
+        label = name or f"app{thread}"
+        return self.handles[node_id].node.spawn(gen, name=label)
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        self.sim.run(until=until, max_events=max_events)
+
+    def crash(self, node_id: int, at: Optional[float] = None) -> None:
+        node = self.nodes[node_id]
+        if at is None:
+            self.failures.crash_now(node)
+        else:
+            self.failures.crash_at(node, at)
+
+    # ------------------------------------------------------------- queries
+
+    def owner_of(self, oid: ObjectId) -> Optional[int]:
+        """Current owner per the (first live) directory node for ``oid``."""
+        replicas = self.replicas_of(oid)
+        return replicas.owner if replicas is not None else None
+
+    def replicas_of(self, oid: ObjectId):
+        for dnode in self.catalog.directory_nodes_for(oid):
+            h = self.handles[dnode]
+            if h.directory is not None and h.node.alive:
+                entry = h.directory.get(oid)
+                return entry.replicas if entry is not None else None
+        return None
+
+    def total_committed(self) -> int:
+        return sum(h.commit.counters.get("committed", 0) for h in self.handles)

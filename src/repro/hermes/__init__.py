@@ -1,0 +1,5 @@
+"""Hermes: single-object invalidation-based replication (LB substrate)."""
+
+from .protocol import HermesKey, HermesReplica
+
+__all__ = ["HermesReplica", "HermesKey"]

@@ -1,0 +1,177 @@
+"""A compact Hermes replication protocol (Katsarakis et al., ASPLOS '20).
+
+Zeus's application-level load balancer stores its key→node routing table in
+"a distributed, replicated key-value store based on Hermes" (Section 3.1).
+Hermes is the single-object ancestor of Zeus's reliable commit: any replica
+may coordinate a write by broadcasting an INV (with a logical timestamp and
+the new value), collecting ACKs from all live replicas, then broadcasting a
+VAL; reads are local and linearizable because an invalidated key cannot be
+read until validated.
+
+This implementation keeps Hermes's essential structure — invalidation-based
+writes from any replica, per-key logical timestamps ``(version, node_id)``
+for conflict resolution, local reads — over the same simulated network the
+rest of the system uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..cluster.node import Node
+from ..net.message import Message, NodeId
+from ..sim.process import Future
+
+__all__ = ["HermesReplica", "HermesKey"]
+
+KIND_HINV = "hermes.inv"
+KIND_HACK = "hermes.ack"
+KIND_HVAL = "hermes.val"
+
+HermesKey = Any
+
+_VALID = 0
+_INVALID = 1
+_WRITE = 2
+
+
+class _Entry:
+    __slots__ = ("state", "ts", "value")
+
+    def __init__(self, value: Any, ts: Tuple[int, int]):
+        self.state = _VALID
+        self.ts = ts
+        self.value = value
+
+
+class _WriteCtx:
+    __slots__ = ("key", "ts", "value", "acks", "future")
+
+    def __init__(self, key: HermesKey, ts: Tuple[int, int], value: Any,
+                 future: Future):
+        self.key = key
+        self.ts = ts
+        self.value = value
+        self.acks: Set[NodeId] = set()
+        self.future = future
+
+
+class HermesReplica:
+    """One replica of the Hermes-replicated KV store.
+
+    All replicas hold all keys (the LB's routing table is small); any
+    replica coordinates writes for any key.
+    """
+
+    def __init__(self, node: Node, replica_ids: Tuple[NodeId, ...],
+                 value_size: int = 24):
+        if node.node_id not in replica_ids:
+            raise ValueError("node must be one of the replicas")
+        self.node = node
+        self.sim = node.sim
+        self.node_id = node.node_id
+        self.replica_ids = tuple(replica_ids)
+        self.value_size = value_size
+        self._table: Dict[HermesKey, _Entry] = {}
+        self._writes: Dict[Tuple[HermesKey, Tuple[int, int]], _WriteCtx] = {}
+        self.counters: Dict[str, int] = {}
+
+        node.register_handler(KIND_HINV, self._on_inv, cost=0.15)
+        node.register_handler(KIND_HACK, self._on_ack)
+        node.register_handler(KIND_HVAL, self._on_val)
+
+    def _count(self, key: str) -> None:
+        self.counters[key] = self.counters.get(key, 0) + 1
+
+    # ------------------------------------------------------------------ API
+
+    def read(self, key: HermesKey) -> Optional[Any]:
+        """Local linearizable read; None while invalidated or missing."""
+        entry = self._table.get(key)
+        if entry is None or entry.state != _VALID:
+            return None
+        return entry.value
+
+    def has(self, key: HermesKey) -> bool:
+        entry = self._table.get(key)
+        return entry is not None and entry.state == _VALID
+
+    def write(self, key: HermesKey, value: Any) -> Future:
+        """Coordinate a replicated write; the future completes when the
+        write is validated cluster-wide (from this replica's view)."""
+        entry = self._table.get(key)
+        base_version = entry.ts[0] if entry is not None else 0
+        ts = (base_version + 1, self.node_id)
+        future = Future(self.sim)
+        ctx = _WriteCtx(key, ts, value, future)
+        self._writes[(key, ts)] = ctx
+        self._count("writes")
+        self._apply_inv(key, ts, value)
+        live = self.node.live_nodes or frozenset(self.replica_ids)
+        peers = [r for r in self.replica_ids if r != self.node_id and r in live]
+        if not peers:
+            self._finish_write(ctx)
+            return future
+        for peer in peers:
+            self.node.send(peer, KIND_HINV, (key, ts, value, self.node_id),
+                           16 + self.value_size)
+        return future
+
+    def write_blocking(self, key: HermesKey, value: Any):
+        """Generator form of :meth:`write` for app-thread processes."""
+        yield self.write(key, value)
+        return None
+
+    # ------------------------------------------------------------ protocol
+
+    def _apply_inv(self, key: HermesKey, ts: Tuple[int, int], value: Any) -> bool:
+        entry = self._table.get(key)
+        if entry is None:
+            entry = _Entry(value, ts)
+            entry.state = _INVALID
+            self._table[key] = entry
+            return True
+        if ts <= entry.ts:
+            return False  # stale or already seen
+        entry.ts = ts
+        entry.value = value
+        entry.state = _INVALID
+        return True
+
+    def _on_inv(self, msg: Message) -> None:
+        key, ts, value, coordinator = msg.payload
+        self._apply_inv(key, ts, value)
+        # Hermes acks INVs unconditionally (idempotent by timestamp).
+        self.node.send(coordinator, KIND_HACK, (key, ts), 24)
+
+    def _on_ack(self, msg: Message) -> None:
+        key, ts = msg.payload
+        ctx = self._writes.get((key, ts))
+        if ctx is None:
+            return
+        ctx.acks.add(msg.src)
+        live = self.node.live_nodes or frozenset(self.replica_ids)
+        needed = {r for r in self.replica_ids if r != self.node_id and r in live}
+        if needed <= ctx.acks:
+            self._finish_write(ctx)
+
+    def _finish_write(self, ctx: _WriteCtx) -> None:
+        self._writes.pop((ctx.key, ctx.ts), None)
+        entry = self._table.get(ctx.key)
+        if entry is not None and entry.ts == ctx.ts:
+            entry.state = _VALID
+        live = self.node.live_nodes or frozenset(self.replica_ids)
+        for peer in self.replica_ids:
+            if peer != self.node_id and peer in live:
+                self.node.send(peer, KIND_HVAL, (ctx.key, ctx.ts), 24)
+        if not ctx.future.done():
+            ctx.future.set_result(None)
+
+    def _on_val(self, msg: Message) -> None:
+        key, ts = msg.payload
+        entry = self._table.get(key)
+        if entry is not None and entry.ts == ts and entry.state == _INVALID:
+            entry.state = _VALID
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,5 @@
+"""Application-level load balancer enforcing request locality."""
+
+from .balancer import LoadBalancer
+
+__all__ = ["LoadBalancer"]

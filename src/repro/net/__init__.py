@@ -1,0 +1,16 @@
+"""Simulated datacenter network: messages, faults, wire model, reliability."""
+
+from .fault import FaultDecision, FaultInjector
+from .message import Message, NodeId
+from .network import Network
+from .reliable import ACK_KIND, ReliableTransport
+
+__all__ = [
+    "Message",
+    "NodeId",
+    "Network",
+    "FaultInjector",
+    "FaultDecision",
+    "ReliableTransport",
+    "ACK_KIND",
+]

@@ -1,0 +1,66 @@
+"""Network fault injection: message loss, duplication, reordering.
+
+Zeus assumes a partially synchronous network where messages can be lost,
+duplicated and reordered (Section 3.1).  The injector sits *below* the
+reliable messaging layer, so experiments can verify that the reliable layer
+(and, independently, the idempotent protocol design) masks these faults.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..sim.params import FaultParams
+
+__all__ = ["FaultInjector", "FaultDecision"]
+
+
+class FaultDecision:
+    """What the injector decided for one message."""
+
+    __slots__ = ("drop", "duplicates", "extra_delay_us")
+
+    def __init__(self, drop: bool = False, duplicates: int = 0, extra_delay_us: float = 0.0):
+        self.drop = drop
+        self.duplicates = duplicates
+        self.extra_delay_us = extra_delay_us
+
+
+_CLEAN = FaultDecision()
+
+
+class FaultInjector:
+    """Applies :class:`FaultParams` to each message using a dedicated RNG."""
+
+    def __init__(self, params: FaultParams, rng: Optional[random.Random] = None):
+        self.params = params
+        self.rng = rng or random.Random(0)
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+
+    @property
+    def active(self) -> bool:
+        p = self.params
+        return p.loss_prob > 0 or p.duplicate_prob > 0 or p.reorder_max_us > 0
+
+    def decide(self) -> FaultDecision:
+        if not self.active:
+            return _CLEAN
+        p = self.params
+        rng = self.rng
+        drop = p.loss_prob > 0 and rng.random() < p.loss_prob
+        duplicates = 0
+        if p.duplicate_prob > 0 and rng.random() < p.duplicate_prob:
+            duplicates = 1
+        extra = 0.0
+        if p.reorder_max_us > 0 and rng.random() < 0.5:
+            extra = rng.random() * p.reorder_max_us
+        if drop:
+            self.dropped += 1
+        if duplicates:
+            self.duplicated += 1
+        if extra > 0:
+            self.reordered += 1
+        return FaultDecision(drop, duplicates, extra)

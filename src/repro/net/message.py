@@ -1,0 +1,41 @@
+"""Wire messages.
+
+A :class:`Message` is deliberately generic: a ``kind`` string routes it to a
+handler on the destination node and ``payload`` carries a protocol-specific
+object.  ``size_bytes`` is the *application* payload size; the network adds
+header bytes on the wire.  Protocols compute sizes from their own payload
+classes so bandwidth accounting (Section 8.2's "less network bandwidth"
+claim) is meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Message", "NodeId"]
+
+#: Nodes are identified by small integers throughout the system.
+NodeId = int
+
+
+class Message:
+    """A single message on the simulated network."""
+
+    __slots__ = ("src", "dst", "kind", "payload", "size_bytes", "seq", "ack")
+
+    def __init__(self, src: NodeId, dst: NodeId, kind: str, payload: Any, size_bytes: int):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.size_bytes = size_bytes
+        #: Reliable-layer sequence number (None for raw/ack traffic).
+        self.seq = None
+        #: Piggybacked cumulative ack for the reverse channel (or None).
+        self.ack = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.src}->{self.dst} {self.kind} seq={self.seq} "
+            f"{self.size_bytes}B)"
+        )

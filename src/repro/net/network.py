@@ -1,0 +1,121 @@
+"""The simulated datacenter network.
+
+Single-switch topology with full bisection bandwidth, matching the paper's
+testbed (six servers behind one Dell S6100-ON switch, 40 Gbps links).
+
+Latency model per message::
+
+    one_way = wire_latency + (header + size) / bandwidth + U(0, jitter)
+
+Per-(src, dst) and aggregate byte counters support the paper's bandwidth
+claims.  A :class:`FaultInjector` can drop/duplicate/delay messages; a
+*partition* set can sever pairs entirely (used by failure tests).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from ..sim.kernel import Simulator
+from ..sim.params import NetParams
+from .fault import FaultInjector
+from .message import Message, NodeId
+
+__all__ = ["Network"]
+
+DeliverFn = Callable[[Message], None]
+
+
+class Network:
+    """Connects node endpoints and models the wire."""
+
+    def __init__(self, sim: Simulator, params: NetParams,
+                 fault_injector: Optional[FaultInjector] = None,
+                 jitter_rng=None):
+        self.sim = sim
+        self.params = params
+        self.faults = fault_injector
+        self._jitter_rng = jitter_rng
+        self._endpoints: Dict[NodeId, DeliverFn] = {}
+        self._down: Set[NodeId] = set()
+        self._partitioned: Set[Tuple[NodeId, NodeId]] = set()
+        # --------- accounting
+        self.bytes_sent: Dict[Tuple[NodeId, NodeId], int] = defaultdict(int)
+        self.msgs_sent: Dict[Tuple[NodeId, NodeId], int] = defaultdict(int)
+        self.total_bytes = 0
+        self.total_msgs = 0
+
+    # ----------------------------------------------------------- topology
+
+    def attach(self, node_id: NodeId, deliver: DeliverFn) -> None:
+        if node_id in self._endpoints:
+            raise ValueError(f"node {node_id} already attached")
+        self._endpoints[node_id] = deliver
+
+    def set_down(self, node_id: NodeId, down: bool = True) -> None:
+        """Crash-stop (or revive) a node at the network level: nothing in,
+        nothing out."""
+        if down:
+            self._down.add(node_id)
+        else:
+            self._down.discard(node_id)
+
+    def partition(self, a: NodeId, b: NodeId) -> None:
+        """Sever the (a, b) pair in both directions."""
+        self._partitioned.add((a, b))
+        self._partitioned.add((b, a))
+
+    def heal(self, a: NodeId, b: NodeId) -> None:
+        self._partitioned.discard((a, b))
+        self._partitioned.discard((b, a))
+
+    # ------------------------------------------------------------- sending
+
+    def latency(self, size_bytes: int) -> float:
+        p = self.params
+        lat = p.wire_latency_us + (p.header_bytes + size_bytes) / p.bandwidth_bytes_per_us
+        if p.jitter_us > 0 and self._jitter_rng is not None:
+            lat += self._jitter_rng.random() * p.jitter_us
+        return lat
+
+    def send(self, msg: Message) -> None:
+        """Inject ``msg``; it is delivered (or not) after the modeled
+        latency.  Sending from/to a down node or across a partition
+        silently drops — exactly what crash-stop + lossy links look like to
+        the layers above."""
+        if msg.src in self._down or msg.dst in self._down:
+            return
+        if (msg.src, msg.dst) in self._partitioned:
+            return
+        wire_bytes = self.params.header_bytes + msg.size_bytes
+        self.bytes_sent[(msg.src, msg.dst)] += wire_bytes
+        self.msgs_sent[(msg.src, msg.dst)] += 1
+        self.total_bytes += wire_bytes
+        self.total_msgs += 1
+
+        copies = 1
+        extra_delay = 0.0
+        if self.faults is not None and self.faults.active:
+            decision = self.faults.decide()
+            if decision.drop:
+                return
+            copies += decision.duplicates
+            extra_delay = decision.extra_delay_us
+
+        base = self.latency(msg.size_bytes) + extra_delay
+        for i in range(copies):
+            # Duplicates trail the original slightly.
+            self.sim.call_after(base + i * 0.5, self._deliver, msg)
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.dst in self._down:
+            return
+        endpoint = self._endpoints.get(msg.dst)
+        if endpoint is not None:
+            endpoint(msg)
+
+    # ---------------------------------------------------------- accounting
+
+    def bytes_between(self, a: NodeId, b: NodeId) -> int:
+        return self.bytes_sent[(a, b)] + self.bytes_sent[(b, a)]

@@ -1,0 +1,6 @@
+"""Reliable ownership protocol (Section 4): dynamic object sharding."""
+
+from .manager import AcquireOutcome, OwnershipManager
+from .messages import NackReason, ReqType
+
+__all__ = ["OwnershipManager", "AcquireOutcome", "ReqType", "NackReason"]

@@ -1,0 +1,845 @@
+"""The reliable ownership protocol (Section 4).
+
+One :class:`OwnershipManager` per node plays every role the paper defines:
+
+* **requester** — an application thread needs an access level it does not
+  hold; ``acquire()`` blocks the thread (the paper's deliberate trade-off)
+  for 1.5 round-trips in the common case;
+* **driver** — the directory node a REQ lands on; stamps the request with a
+  fresh ``o_ts`` and invalidates the other arbiters;
+* **arbiter** — directory nodes and the current owner; they serialize
+  contending requests by processing only lexicographically larger ``o_ts``;
+* **recovery driver** — after a membership epoch change, any blocked
+  arbiter replays the stored idempotent INV (*arb-replay*) to finish or
+  abort the pending request.
+
+Engineering completions of under-specified corners (documented in
+DESIGN.md): an owner-busy NACK is followed by a requester-sent ABORT that
+reverts already-invalidated arbiters; aborts keep the bumped ``o_ts`` (the
+version number is burned) so a retried request can never collide with the
+aborted one; REMOVE_READER arbitration involves the directory nodes and the
+victim but not the owner, keeping the trim out of the write critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..cluster.node import Node
+from ..net.message import Message, NodeId
+from ..sim.process import Future
+from ..store.catalog import Catalog, ObjectId
+from ..store.directory import DirectoryTable
+from ..store.meta import Ots, OState, ReplicaSet, TState
+from ..store.object_store import ObjectStore, StoredObject
+from .messages import (
+    KIND_ABORT,
+    KIND_ACK,
+    KIND_DATA,
+    KIND_FETCH,
+    KIND_INV,
+    KIND_NACK,
+    KIND_REQ,
+    KIND_RESP,
+    KIND_VAL,
+    NackReason,
+    OwnAbort,
+    OwnAck,
+    OwnData,
+    OwnFetch,
+    OwnInv,
+    OwnNack,
+    OwnReq,
+    OwnResp,
+    OwnVal,
+    ReqType,
+)
+
+__all__ = ["OwnershipManager", "AcquireOutcome"]
+
+KIND_RECOVERED = "own.recovered"
+KIND_LIFTED = "own.lifted"
+
+ReqId = Tuple[NodeId, int]
+
+
+class AcquireOutcome:
+    """Result of one ownership request."""
+
+    __slots__ = ("granted", "reason", "latency_us")
+
+    def __init__(self, granted: bool, reason: Optional[NackReason], latency_us: float):
+        self.granted = granted
+        self.reason = reason
+        self.latency_us = latency_us
+
+    def __repr__(self) -> str:  # pragma: no cover
+        status = "GRANTED" if self.granted else f"DENIED({self.reason.name})"
+        return f"AcquireOutcome({status}, {self.latency_us:.1f}us)"
+
+
+class _ReqCtx:
+    """Requester-side state for one in-flight request."""
+
+    __slots__ = ("req_id", "oid", "req_type", "victim", "future", "acks",
+                 "arbiters", "o_ts", "new_replicas", "data", "data_version",
+                 "started_at", "timeout_handle", "done", "resp")
+
+    def __init__(self, req_id: ReqId, oid: ObjectId, req_type: ReqType,
+                 victim: Optional[NodeId], future: Future, started_at: float):
+        self.req_id = req_id
+        self.oid = oid
+        self.req_type = req_type
+        self.victim = victim
+        self.future = future
+        self.acks: Set[NodeId] = set()
+        self.arbiters: Optional[Tuple[NodeId, ...]] = None
+        self.o_ts: Optional[Ots] = None
+        self.new_replicas: Optional[ReplicaSet] = None
+        self.data: Any = None
+        self.data_version: Optional[int] = None
+        self.started_at = started_at
+        self.timeout_handle = None
+        self.done = False
+        self.resp: Optional[OwnResp] = None
+
+
+class _ReplayCtx:
+    """Recovery-driver state for one arb-replay."""
+
+    __slots__ = ("inv", "acks", "live_arbiters", "done")
+
+    def __init__(self, inv: OwnInv, live_arbiters: Tuple[NodeId, ...]):
+        self.inv = inv
+        self.acks: Set[NodeId] = set()
+        self.live_arbiters = live_arbiters
+        self.done = False
+
+
+from .lifecycle import LifecycleMixin
+
+
+class OwnershipManager(LifecycleMixin):
+    """Ownership protocol endpoint on one node."""
+
+    def __init__(self, node: Node, store: ObjectStore, catalog: Catalog,
+                 directory: Optional[DirectoryTable]):
+        self.node = node
+        self.sim = node.sim
+        self.node_id = node.node_id
+        self.store = store
+        self.catalog = catalog
+        self.directory = directory
+        self.params = node.params
+        #: Set by the wiring layer; used for the owner-busy check and
+        #: recovery sequencing.
+        self.commit_mgr = None
+        #: Policy: which reader to trim after a non-replica acquisition.
+        self.trim_policy: str = "old_owner"
+
+        self._next_req_id = 0
+        self._reqs: Dict[ReqId, _ReqCtx] = {}
+        self._req_by_oid: Dict[ObjectId, _ReqCtx] = {}
+        #: Arbiter-side pending arbitration, one per object (the stored INV
+        #: is what arb-replay re-transmits).
+        self._pending_arb: Dict[ObjectId, OwnInv] = {}
+        self._replays: Dict[ReqId, _ReplayCtx] = {}
+        self._fetch_waiting: Dict[ReqId, Tuple[OwnResp, Optional[_ReqCtx], ReqType]] = {}
+        #: Recovery barrier (directory nodes): epoch -> nodes recovered.
+        self._recovered: Dict[int, Set[NodeId]] = {}
+        self._lifted_epoch = 1
+
+        # ------ metrics
+        self.latencies_us: List[float] = []
+        self.counters: Dict[str, int] = {}
+
+        cost = self.params.own_arbitrate_us
+        node.register_handler(KIND_REQ, self._on_req, cost=cost)
+        node.register_handler(KIND_INV, self._on_inv, cost=cost)
+        node.register_handler(KIND_ACK, self._on_ack)
+        node.register_handler(KIND_NACK, self._on_nack)
+        node.register_handler(KIND_VAL, self._on_val)
+        node.register_handler(KIND_RESP, self._on_resp)
+        node.register_handler(KIND_ABORT, self._on_abort)
+        node.register_handler(KIND_FETCH, self._on_fetch)
+        node.register_handler(KIND_DATA, self._on_data)
+        node.register_handler(KIND_RECOVERED, self._on_recovered)
+        node.register_handler(KIND_LIFTED, self._on_lifted)
+        node.add_view_listener(self._on_view_change)
+        self._init_lifecycle()
+
+    # ------------------------------------------------------------- helpers
+
+    def _count(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def _dir_nodes(self) -> Tuple[NodeId, ...]:
+        """Cluster-wide directory duty nodes (recovery barrier home)."""
+        return self.catalog.directory_nodes()
+
+    def _dir_nodes_for(self, oid: ObjectId) -> Tuple[NodeId, ...]:
+        """Directory replicas arbitrating this object (§6.2: a single
+        replicated directory by default, consistent hashing when the
+        deployment out-scales it)."""
+        return self.catalog.directory_nodes_for(oid)
+
+    def _live_dir_nodes(self, oid: ObjectId) -> Tuple[NodeId, ...]:
+        live = self.node.live_nodes
+        return tuple(d for d in self._dir_nodes_for(oid) if d in live)
+
+    def _choose_driver(self, oid: ObjectId) -> NodeId:
+        """Prefer self if co-located with the directory (2-hop fast path,
+        Section 4.2), else pick a live directory node by object hash so the
+        driver load spreads across the directory replicas."""
+        dirs = self._live_dir_nodes(oid)
+        if not dirs:
+            return self._dir_nodes_for(oid)[0]  # no quorum; will time out
+        if self.node_id in dirs:
+            return self.node_id
+        return dirs[oid % len(dirs)]
+
+    def _req_timeout_us(self) -> float:
+        return max(3 * self.params.lease_us, 2_000.0)
+
+    @property
+    def barrier_lifted(self) -> bool:
+        return self._lifted_epoch >= self.node.epoch
+
+    # ======================================================================
+    # Requester role
+    # ======================================================================
+
+    def acquire(self, oid: ObjectId, req_type: ReqType = ReqType.ACQUIRE_OWNER,
+                victim: Optional[NodeId] = None):
+        """Blocking ownership request (generator; use with ``yield from``).
+
+        Returns an :class:`AcquireOutcome`.  Concurrent requests for the
+        same object on this node coalesce onto one in-flight request; the
+        caller re-checks its access level afterwards and retries if needed.
+        """
+        existing = self._req_by_oid.get(oid)
+        if existing is not None and not existing.done:
+            outcome = yield existing.future
+            return outcome
+
+        req_id = (self.node_id, self._next_req_id)
+        self._next_req_id += 1
+        ctx = _ReqCtx(req_id, oid, req_type, victim, Future(self.sim), self.sim.now)
+        self._reqs[req_id] = ctx
+        self._req_by_oid[oid] = ctx
+        self._count(f"req.{req_type.name.lower()}")
+
+        obj = self.store.get(oid)
+        if obj is not None and obj.o_state == OState.VALID:
+            obj.o_state = OState.REQUEST
+
+        driver = self._choose_driver(oid)
+        ctx.timeout_handle = self.sim.call_after(
+            self._req_timeout_us(), self._on_timeout, req_id
+        )
+        req = OwnReq(req_id, oid, self.node_id, req_type, self.node.epoch, victim)
+        self.node.send(driver, KIND_REQ, req, OwnReq.size)
+        outcome = yield ctx.future
+        return outcome
+
+    def _complete(self, ctx: _ReqCtx, granted: bool,
+                  reason: Optional[NackReason]) -> None:
+        if ctx.done:
+            return
+        ctx.done = True
+        if ctx.timeout_handle is not None:
+            ctx.timeout_handle.cancel()
+            ctx.timeout_handle = None
+        self._reqs.pop(ctx.req_id, None)
+        if self._req_by_oid.get(ctx.oid) is ctx:
+            del self._req_by_oid[ctx.oid]
+        obj = self.store.get(ctx.oid)
+        if obj is not None and obj.o_state == OState.REQUEST:
+            obj.o_state = OState.VALID
+        latency = self.sim.now - ctx.started_at
+        if granted:
+            self.latencies_us.append(latency)
+            self._count("granted")
+        else:
+            self._count(f"denied.{reason.name.lower()}")
+        ctx.future.set_result(AcquireOutcome(granted, reason, latency))
+
+    def _on_timeout(self, req_id: ReqId) -> None:
+        ctx = self._reqs.get(req_id)
+        if ctx is not None and not ctx.done:
+            ctx.timeout_handle = None
+            self._complete(ctx, False, NackReason.TIMEOUT)
+
+    # ------------------------------------------------------------ ACK path
+
+    def _on_ack(self, msg: Message) -> None:
+        ack: OwnAck = msg.payload
+        if ack.epoch != self.node.epoch:
+            return
+        replay_ctx = self._replays.get(ack.req_id)
+        if replay_ctx is not None and not replay_ctx.done:
+            self._on_replay_ack(replay_ctx, msg.src, ack)
+            return
+        ctx = self._reqs.get(ack.req_id)
+        if ctx is None or ctx.done:
+            return
+        ctx.acks.add(msg.src)
+        ctx.o_ts = ack.o_ts
+        ctx.new_replicas = ack.new_replicas
+        ctx.arbiters = ack.arbiters
+        if ack.data_version is not None:
+            ctx.data = ack.data
+            ctx.data_version = ack.data_version
+        if ctx.arbiters is not None and set(ctx.arbiters) <= ctx.acks:
+            self._apply_and_validate(ctx)
+
+    def _apply_and_validate(self, ctx: _ReqCtx) -> None:
+        """All ACKs in: apply locally *first* (paper: the requester must
+        apply before any arbiter), then VAL every arbiter."""
+        self._apply_locally(ctx.oid, ctx.req_type, ctx.o_ts, ctx.new_replicas,
+                            ctx.data, ctx.data_version)
+        val = OwnVal(ctx.req_id, ctx.oid, ctx.o_ts, self.node.epoch)
+        for arb in ctx.arbiters:
+            self.node.send(arb, KIND_VAL, val, OwnVal.size)
+        self._complete(ctx, True, None)
+        self._maybe_trim(ctx.oid, ctx.req_type, ctx.new_replicas)
+
+    def _apply_locally(self, oid: ObjectId, req_type: ReqType, o_ts: Ots,
+                       new_replicas: ReplicaSet, data: Any,
+                       data_version: Optional[int]) -> None:
+        live = self.node.live_nodes
+        stripped = new_replicas
+        for nid in new_replicas.all_nodes() - live:
+            stripped = stripped.without(nid)
+        obj = self.store.get(oid)
+        if req_type == ReqType.ACQUIRE_OWNER:
+            if obj is None:
+                obj = self.store.create(oid, data, stripped, o_ts)
+                obj.t_version = data_version or 0
+            else:
+                obj.o_ts = o_ts
+                obj.o_replicas = stripped
+                obj.o_state = OState.VALID
+                if data_version is not None and data_version > obj.t_version:
+                    obj.t_data = data
+                    obj.t_version = data_version
+            obj.t_state = TState.VALID
+        elif req_type == ReqType.ADD_READER:
+            if obj is None:
+                obj = self.store.create(oid, data, None, o_ts)
+                obj.t_version = data_version or 0
+            obj.o_state = OState.VALID
+        else:  # REMOVE_READER — requester is the owner updating its view
+            if obj is not None:
+                obj.o_ts = o_ts
+                obj.o_replicas = stripped
+                obj.o_state = OState.VALID
+
+    def _maybe_trim(self, oid: ObjectId, req_type: ReqType,
+                    new_replicas: ReplicaSet) -> None:
+        """Keep the configured replication degree: after a non-replica
+        acquisition the replica count grew by one, so discard a reader out
+        of the critical path (Section 6.2)."""
+        if req_type != ReqType.ACQUIRE_OWNER:
+            return
+        if new_replicas.size() <= self.params.replication_degree:
+            return
+        victim = self._pick_trim_victim(new_replicas)
+        if victim is None:
+            return
+
+        def trim():
+            outcome = yield from self.acquire(oid, ReqType.REMOVE_READER, victim)
+            if not outcome.granted:
+                self._count("trim_failed")
+            return outcome
+
+        self.node.spawn(trim(), name=f"trim-{oid}")
+
+    def _pick_trim_victim(self, replicas: ReplicaSet) -> Optional[NodeId]:
+        readers = [r for r in replicas.readers if r != self.node_id]
+        if not readers:
+            return None
+        if self.trim_policy == "old_owner":
+            # The reader the access pattern just moved *away* from is the
+            # least likely to be useful; it is the highest-o_ts reader, but
+            # we do not track that per reader, so take the most recently
+            # demoted one — the one absent from the initial placement is a
+            # heuristic; fall back to the last reader.
+            return readers[-1]
+        if self.trim_policy == "lowest_id":
+            return readers[0]
+        return readers[-1]
+
+    # ----------------------------------------------------------- NACK path
+
+    def _on_nack(self, msg: Message) -> None:
+        nack: OwnNack = msg.payload
+        if nack.epoch != self.node.epoch:
+            return
+        ctx = self._reqs.get(nack.req_id)
+        if ctx is None or ctx.done:
+            return
+        if nack.reason == NackReason.ALREADY_GRANTED:
+            obj = self.store.get(ctx.oid)
+            if ctx.req_type == ReqType.ACQUIRE_OWNER and (
+                obj is None or obj.o_replicas is None
+                or obj.o_replicas.owner != self.node_id
+            ):
+                # Directory believes we own it but we do not have it; only
+                # possible under bugs — fail the request so the caller
+                # retries rather than looping on a phantom grant.
+                self._count("already_granted_mismatch")
+                self._complete(ctx, False, NackReason.BUSY_ARBITRATION)
+            else:
+                self._complete(ctx, True, None)
+            return
+        if nack.reason == NackReason.BUSY_COMMIT and nack.arbiters:
+            # Directory arbiters already invalidated; revert them.
+            abort = OwnAbort(nack.req_id, nack.oid, nack.o_ts, self.node.epoch)
+            for arb in nack.arbiters:
+                if arb != msg.src:  # the busy owner never invalidated
+                    self.node.send(arb, KIND_ABORT, abort, OwnAbort.size)
+        self._complete(ctx, False, nack.reason)
+
+    # ======================================================================
+    # Driver role (directory nodes)
+    # ======================================================================
+
+    def _on_req(self, msg: Message) -> None:
+        req: OwnReq = msg.payload
+        if req.epoch != self.node.epoch or self.directory is None:
+            return
+        entry = self.directory.get(req.oid)
+        if entry is None:
+            self._nack(req.requester, req, NackReason.BUSY_ARBITRATION)
+            return
+        replicas = entry.replicas
+        live = self.node.live_nodes
+
+        # Recovery gate: objects whose owner died are frozen until every
+        # live node drained the dead coordinators' pending commits (§5.1).
+        owner_dead = replicas.owner is None or replicas.owner not in live
+        if owner_dead and not self.barrier_lifted:
+            self._nack(req.requester, req, NackReason.RECOVERING)
+            return
+        if entry.o_state != OState.VALID or req.oid in self._pending_arb:
+            self._nack(req.requester, req, NackReason.BUSY_ARBITRATION)
+            return
+
+        # No-op grants.
+        level_holder = (
+            (req.req_type == ReqType.ACQUIRE_OWNER and replicas.owner == req.requester)
+            or (req.req_type == ReqType.ADD_READER
+                and req.requester in replicas.all_nodes())
+            or (req.req_type == ReqType.REMOVE_READER
+                and req.victim not in replicas.readers)
+        )
+        if level_holder:
+            self._nack(req.requester, req, NackReason.ALREADY_GRANTED)
+            return
+
+        new_ts = entry.o_ts.next_for(self.node_id)
+        if req.req_type == ReqType.ACQUIRE_OWNER:
+            new_replicas = replicas.with_owner(req.requester)
+        elif req.req_type == ReqType.ADD_READER:
+            new_replicas = replicas.with_reader(req.requester)
+        else:
+            new_replicas = replicas.without(req.victim)
+
+        arbiters, data_source = self._arbiters_for(req, replicas, live)
+        if arbiters is None:
+            self._nack(req.requester, req, NackReason.NO_DATA)
+            return
+
+        # The driver may simultaneously be the current owner, the victim,
+        # or the designated data source.  Its own ACK then *is* that
+        # facet's arbitration, so the same rules apply here: the owner
+        # facet must pass the busy check and be invalidated — skipping
+        # this would let the driver-as-owner keep committing while the
+        # object migrates away (caught by the schedule explorer).
+        obj = self.store.get(req.oid)
+        self_is_owner = (obj is not None and obj.o_replicas is not None
+                         and obj.o_replicas.owner == self.node_id
+                         and req.req_type != ReqType.REMOVE_READER)
+        if self_is_owner and self._owner_busy(obj):
+            # Nothing invalidated yet, so a plain NACK suffices (no ABORT).
+            self._nack(req.requester, req, NackReason.BUSY_COMMIT)
+            self._count("owner_busy_nack")
+            return
+
+        inv = OwnInv(req.req_id, req.oid, new_ts, new_replicas, req.requester,
+                     req.req_type, self.node.epoch, arbiters, data_source,
+                     prev_replicas=replicas, prev_ts=entry.o_ts)
+        entry.o_state = OState.DRIVE
+        entry.o_ts = new_ts
+        self._pending_arb[req.oid] = inv
+        self_arbitrates = obj is not None and (
+            self_is_owner or data_source == self.node_id
+            or (req.req_type == ReqType.REMOVE_READER
+                and req.victim == self.node_id))
+        if self_arbitrates:
+            obj.o_state = OState.INVALID
+            obj.o_ts = new_ts
+        for arb in arbiters:
+            if arb != self.node_id:
+                self.node.send(arb, KIND_INV, inv, inv.size)
+        # The driver is itself an arbiter; it stays in Drive state and acks
+        # the requester right away.
+        self._send_ack(inv, to=req.requester, to_driver=False)
+
+    def _arbiters_for(self, req: OwnReq, replicas: ReplicaSet,
+                      live: frozenset):
+        """The arbiter set and the node whose ACK must carry the value.
+
+        Returns ``(None, None)`` when the value is unreachable (owner and
+        all readers dead — more failures than the replication degree).
+        """
+        arbiters = set(self._live_dir_nodes(req.oid))
+        data_source: Optional[NodeId] = None
+        owner = replicas.owner
+        if req.req_type == ReqType.REMOVE_READER:
+            # Keep the owner out of the critical path: dirs + victim only.
+            if req.victim in live:
+                arbiters.add(req.victim)
+        else:
+            requester_has_data = req.requester in replicas.all_nodes()
+            if owner is not None and owner in live:
+                arbiters.add(owner)
+                if not requester_has_data:
+                    data_source = owner
+            elif not requester_has_data or req.req_type == ReqType.ACQUIRE_OWNER:
+                # Owner dead: a live reader substitutes as the data source
+                # (and is arbitrated so it cannot serve stale reads
+                # mid-transfer).
+                live_readers = [r for r in replicas.readers if r in live
+                                and r != req.requester]
+                if not requester_has_data:
+                    if not live_readers:
+                        return None, None
+                    data_source = live_readers[0]
+                    arbiters.add(data_source)
+        return tuple(sorted(arbiters)), data_source
+
+    def _nack(self, requester: NodeId, req: OwnReq, reason: NackReason,
+              arbiters: Tuple[NodeId, ...] = (), o_ts: Optional[Ots] = None) -> None:
+        nack = OwnNack(req.req_id, req.oid, reason, self.node.epoch, arbiters, o_ts)
+        self.node.send(requester, KIND_NACK, nack, OwnNack.size)
+
+    # ======================================================================
+    # Arbiter role (directory nodes + current owner + designated reader)
+    # ======================================================================
+
+    def _on_inv(self, msg: Message) -> None:
+        inv: OwnInv = msg.payload
+        if inv.epoch != self.node.epoch:
+            return
+        oid = inv.oid
+        current = self._pending_arb.get(oid)
+        if current is not None and current.o_ts == inv.o_ts:
+            # Duplicate or arb-replay of what we already hold: just re-ACK.
+            self._send_ack(inv, to=(msg.src if inv.replay else inv.requester),
+                           to_driver=inv.replay)
+            return
+
+        ref_ts = current.o_ts if current is not None else self._local_ts(oid)
+        if ref_ts is not None and inv.o_ts <= ref_ts:
+            return  # stale or smaller contender: ignore (no ACK)
+
+        entry = self.directory.get(oid) if self.directory is not None else None
+
+        # Losing driver: we were driving a smaller-o_ts request; the larger
+        # contender wins, our requester gets a NACK (Section 4.1).
+        if (current is not None and entry is not None
+                and entry.o_state == OState.DRIVE
+                and current.o_ts.node_id == self.node_id):
+            nack = OwnNack(current.req_id, oid, NackReason.CONTENTION_LOST,
+                           self.node.epoch)
+            self.node.send(current.requester, KIND_NACK, nack, OwnNack.size)
+            self._count("drive_lost")
+
+        # Owner-busy check: an owner must not give up an object with a
+        # pending reliable commit or an executing local transaction.
+        obj = self.store.get(oid)
+        if (obj is not None and obj.o_replicas is not None
+                and obj.o_replicas.owner == self.node_id
+                and inv.req_type != ReqType.REMOVE_READER):
+            if self._owner_busy(obj):
+                nack = OwnNack(inv.req_id, oid, NackReason.BUSY_COMMIT,
+                               self.node.epoch, arbiters=inv.arbiters,
+                               o_ts=inv.o_ts)
+                target = msg.src if inv.replay else inv.requester
+                self.node.send(target, KIND_NACK, nack, OwnNack.size)
+                self._count("owner_busy_nack")
+                return
+
+        # Accept: invalidate and ACK.
+        self._pending_arb[oid] = inv
+        if entry is not None:
+            entry.o_state = OState.INVALID
+            entry.o_ts = inv.o_ts
+        if obj is not None:
+            obj.o_state = OState.INVALID
+            obj.o_ts = inv.o_ts
+        self._send_ack(inv, to=(msg.src if inv.replay else inv.requester),
+                       to_driver=inv.replay)
+
+    def _local_ts(self, oid: ObjectId) -> Optional[Ots]:
+        entry = self.directory.get(oid) if self.directory is not None else None
+        obj = self.store.get(oid)
+        candidates = []
+        if entry is not None:
+            candidates.append(entry.o_ts)
+        if obj is not None:
+            candidates.append(obj.o_ts)
+        return max(candidates) if candidates else None
+
+    def _owner_busy(self, obj: StoredObject) -> bool:
+        if obj.locked_by is not None:
+            return True
+        if obj.t_state != TState.VALID:
+            return True
+        if self.commit_mgr is not None and self.commit_mgr.has_pending(obj.oid):
+            return True
+        return False
+
+    def _send_ack(self, inv: OwnInv, to: NodeId, to_driver: bool) -> None:
+        data = None
+        version = None
+        if inv.data_source == self.node_id:
+            obj = self.store.get(inv.oid)
+            if obj is not None:
+                data = obj.t_data
+                version = obj.t_version
+        ack = OwnAck(inv.req_id, inv.oid, inv.o_ts, self.node.epoch,
+                     inv.arbiters, inv.new_replicas, data, version)
+        size = ack.size_with(self.catalog.size_of(inv.oid))
+        self.node.send(to, KIND_ACK, ack, size)
+
+    def _on_val(self, msg: Message) -> None:
+        val: OwnVal = msg.payload
+        cur = self._pending_arb.get(val.oid)
+        if cur is None or cur.o_ts != val.o_ts:
+            return
+        self._apply_arbitration(cur)
+
+    def _apply_arbitration(self, inv: OwnInv) -> None:
+        oid = inv.oid
+        self._pending_arb.pop(oid, None)
+        live = self.node.live_nodes
+        replicas = inv.new_replicas
+        for nid in replicas.all_nodes() - live:
+            replicas = replicas.without(nid)
+
+        entry = self.directory.get(oid) if self.directory is not None else None
+        if entry is not None:
+            entry.replicas = replicas
+            entry.o_ts = inv.o_ts
+            entry.o_state = OState.VALID
+
+        obj = self.store.get(oid)
+        if obj is None:
+            return
+        if inv.req_type == ReqType.REMOVE_READER and inv.new_replicas.owner != self.node_id:
+            still_replica = self.node_id in replicas.all_nodes()
+            if not still_replica:
+                self.store.drop(oid)
+                self._count("replica_dropped")
+                return
+        obj.o_state = OState.VALID
+        obj.o_ts = inv.o_ts
+        obj.o_replicas = replicas if replicas.owner == self.node_id else None
+
+    def _on_abort(self, msg: Message) -> None:
+        abort: OwnAbort = msg.payload
+        cur = self._pending_arb.get(abort.oid)
+        if cur is None or cur.o_ts != abort.o_ts:
+            return
+        self._pending_arb.pop(abort.oid, None)
+        live = self.node.live_nodes
+        prev = cur.prev_replicas
+        for nid in prev.all_nodes() - live:
+            prev = prev.without(nid)
+        entry = self.directory.get(abort.oid) if self.directory is not None else None
+        if entry is not None:
+            entry.replicas = prev
+            entry.o_state = OState.VALID
+            # o_ts stays bumped: the aborted version number is burned so a
+            # retry can never collide with the aborted request.
+        obj = self.store.get(abort.oid)
+        if obj is not None and obj.o_state == OState.INVALID:
+            obj.o_state = OState.VALID
+            # Adopt the authoritative pre-arbitration view: a node whose
+            # own demotion VAL was superseded by the (now aborted) larger
+            # request must not resurrect a stale self-as-owner view.
+            obj.o_replicas = prev if prev.owner == self.node_id else None
+        self._count("arb_aborted")
+
+    # ======================================================================
+    # Recovery: view changes, barrier, arb-replay
+    # ======================================================================
+
+    def _on_view_change(self, epoch: int, live: frozenset) -> None:
+        if self.directory is not None:
+            self.directory.strip_dead(live)
+        for obj in self.store:
+            if obj.o_replicas is not None and obj.o_replicas.owner == self.node_id:
+                dead = obj.o_replicas.all_nodes() - live
+                replicas = obj.o_replicas
+                for nid in dead:
+                    replicas = replicas.without(nid)
+                obj.o_replicas = replicas
+
+    def broadcast_recovered(self, epoch: int) -> None:
+        """Called by the commit manager once this node has drained all
+        pending reliable commits of dead coordinators."""
+        live = self.node.live_nodes
+        for dnode in self._dir_nodes():
+            if dnode in live:
+                self.node.send(dnode, KIND_RECOVERED,
+                               (epoch, self.node_id), 16)
+
+    def _on_recovered(self, msg: Message) -> None:
+        epoch, node_id = msg.payload
+        if epoch != self.node.epoch or self.directory is None:
+            return
+        done = self._recovered.setdefault(epoch, set())
+        done.add(node_id)
+        if done >= self.node.live_nodes:
+            for nid in self.node.live_nodes:
+                self.node.send(nid, KIND_LIFTED, epoch, 16)
+
+    def _on_lifted(self, msg: Message) -> None:
+        epoch = msg.payload
+        if epoch != self.node.epoch or epoch <= self._lifted_epoch:
+            return
+        self._lifted_epoch = epoch
+        self._initiate_replays()
+
+    def _initiate_replays(self) -> None:
+        """Arb-replay every pending arbitration whose participants include
+        dead nodes (Section 4.1, failure recovery)."""
+        live = self.node.live_nodes
+        for oid, inv in list(self._pending_arb.items()):
+            participants = set(inv.arbiters) | {inv.requester}
+            if participants <= live:
+                continue  # all participants live: it will finish normally
+            self._start_replay(inv)
+
+    def _start_replay(self, inv: OwnInv) -> None:
+        live = self.node.live_nodes
+        live_arbiters = tuple(a for a in inv.arbiters if a in live)
+        replay_inv = inv.replayed_by(self.node_id, self.node.epoch, live_arbiters)
+        ctx = _ReplayCtx(replay_inv, live_arbiters)
+        self._replays[inv.req_id] = ctx
+        self._count("arb_replay")
+        for arb in live_arbiters:
+            if arb != self.node_id:
+                self.node.send(arb, KIND_INV, replay_inv, replay_inv.size)
+        # We hold the same pending arbitration ourselves: self-ACK.
+        ctx.acks.add(self.node_id)
+        self._check_replay_done(ctx)
+
+    def _on_replay_ack(self, ctx: _ReplayCtx, src: NodeId, ack: OwnAck) -> None:
+        ctx.acks.add(src)
+        self._check_replay_done(ctx)
+
+    def _check_replay_done(self, ctx: _ReplayCtx) -> None:
+        if ctx.done or not (set(ctx.live_arbiters) <= ctx.acks):
+            return
+        ctx.done = True
+        inv = ctx.inv
+        live = self.node.live_nodes
+        self._replays.pop(inv.req_id, None)
+        if inv.requester in live:
+            data_source = inv.data_source if inv.data_source in live else None
+            if data_source is None and inv.data_source is not None:
+                # Re-pick a live reader that can supply the value.
+                candidates = [r for r in inv.prev_replicas.readers if r in live]
+                owner = inv.prev_replicas.owner
+                if owner is not None and owner in live:
+                    data_source = owner
+                elif candidates:
+                    data_source = candidates[0]
+            resp = OwnResp(inv.req_id, inv.oid, inv.o_ts, self.node.epoch,
+                           inv.new_replicas, ctx.live_arbiters, data_source)
+            self.node.send(inv.requester, KIND_RESP, resp, OwnResp.size)
+        else:
+            # Dead requester: the driver validates directly; the applied
+            # replica set is stripped of dead nodes at every arbiter, so
+            # the object simply ends up owner-less until the next write.
+            val = OwnVal(inv.req_id, inv.oid, inv.o_ts, self.node.epoch)
+            for arb in ctx.live_arbiters:
+                self.node.send(arb, KIND_VAL, val, OwnVal.size)
+
+    # --------------------------------------------------- RESP + data fetch
+
+    def _on_resp(self, msg: Message) -> None:
+        resp: OwnResp = msg.payload
+        if resp.epoch != self.node.epoch:
+            return
+        ctx = self._reqs.get(resp.req_id)
+        if ctx is not None and not ctx.done:
+            ctx.o_ts = resp.o_ts
+            ctx.new_replicas = resp.new_replicas
+            ctx.arbiters = resp.arbiters
+            ctx.resp = resp
+            self._finish_resp(ctx.oid, ctx.req_type, resp, ctx)
+            return
+        # Late RESP for a request we abandoned: honour the grant anyway so
+        # the arbiters unblock and the directory stays consistent.
+        obj = self.store.get(resp.oid)
+        if obj is None or obj.o_ts < resp.o_ts:
+            self._finish_resp(resp.oid, ReqType.ACQUIRE_OWNER, resp, None)
+        else:
+            val = OwnVal(resp.req_id, resp.oid, resp.o_ts, self.node.epoch)
+            for arb in resp.arbiters:
+                self.node.send(arb, KIND_VAL, val, OwnVal.size)
+
+    def _finish_resp(self, oid: ObjectId, req_type: ReqType, resp: OwnResp,
+                     ctx: Optional[_ReqCtx]) -> None:
+        needs_data = (req_type in (ReqType.ACQUIRE_OWNER, ReqType.ADD_READER)
+                      and not self.store.has(oid))
+        if needs_data:
+            if resp.data_source is None:
+                self._count("resp_no_data")
+                if ctx is not None:
+                    self._complete(ctx, False, NackReason.NO_DATA)
+                return
+            fetch = OwnFetch(resp.req_id, oid, self.node.epoch)
+            self._fetch_waiting[resp.req_id] = (resp, ctx, req_type)
+            self.node.send(resp.data_source, KIND_FETCH, fetch, OwnFetch.size)
+            return
+        self._apply_resp(oid, req_type, resp, ctx, data=None, data_version=None)
+
+    def _apply_resp(self, oid: ObjectId, req_type: ReqType, resp: OwnResp,
+                    ctx: Optional[_ReqCtx], data: Any,
+                    data_version: Optional[int]) -> None:
+        self._apply_locally(oid, req_type, resp.o_ts, resp.new_replicas,
+                            data, data_version)
+        val = OwnVal(resp.req_id, oid, resp.o_ts, self.node.epoch)
+        for arb in resp.arbiters:
+            self.node.send(arb, KIND_VAL, val, OwnVal.size)
+        if ctx is not None:
+            self._complete(ctx, True, None)
+
+    def _on_fetch(self, msg: Message) -> None:
+        fetch: OwnFetch = msg.payload
+        obj = self.store.get(fetch.oid)
+        if obj is None:
+            return
+        data = OwnData(fetch.req_id, fetch.oid, self.node.epoch,
+                       obj.t_data, obj.t_version)
+        self.node.send(msg.src, KIND_DATA, data,
+                       data.size_with(self.catalog.size_of(fetch.oid)))
+
+    def _on_data(self, msg: Message) -> None:
+        payload: OwnData = msg.payload
+        waiting = self._fetch_waiting.pop(payload.req_id, None)
+        if waiting is None:
+            return
+        resp, ctx, req_type = waiting
+        if ctx is not None and ctx.done:
+            ctx = None
+        self._apply_resp(payload.oid, req_type, resp, ctx,
+                         payload.data, payload.data_version)

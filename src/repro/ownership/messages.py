@@ -1,0 +1,247 @@
+"""Ownership-protocol wire messages (Section 4, Figure 3).
+
+Message kinds:
+
+* ``own.req``    requester → driver (an arbitrarily chosen directory node)
+* ``own.inv``    driver → remaining arbiters (directory nodes + owner);
+                 also used by arb-replay with ``replay=True``
+* ``own.ack``    arbiter → requester (normal) or → replay driver
+* ``own.nack``   driver/owner → requester (contention, busy, recovering)
+* ``own.val``    requester (or replay driver) → arbiters: apply the request
+* ``own.resp``   replay driver → requester: you won, apply then VAL
+* ``own.abort``  requester/replay driver → arbiters: revert a NACKed request
+* ``own.fetch`` / ``own.data``  recovery-path object-value transfer
+
+Sizes are modeled analytically (metadata fields ≈ 8B each) so bandwidth
+accounting stays meaningful; an owner ACK to a non-replica requester also
+carries the object value (Section 6.2: "the value is included in a single
+ownership message").
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Any, Optional, Tuple
+
+from ..net.message import NodeId
+from ..store.catalog import ObjectId
+from ..store.meta import Ots, ReplicaSet
+
+__all__ = [
+    "ReqType",
+    "NackReason",
+    "OwnReq",
+    "OwnInv",
+    "OwnAck",
+    "OwnNack",
+    "OwnVal",
+    "OwnResp",
+    "OwnAbort",
+    "OwnFetch",
+    "OwnData",
+    "KIND_REQ",
+    "KIND_INV",
+    "KIND_ACK",
+    "KIND_NACK",
+    "KIND_VAL",
+    "KIND_RESP",
+    "KIND_ABORT",
+    "KIND_FETCH",
+    "KIND_DATA",
+]
+
+KIND_REQ = "own.req"
+KIND_INV = "own.inv"
+KIND_ACK = "own.ack"
+KIND_NACK = "own.nack"
+KIND_VAL = "own.val"
+KIND_RESP = "own.resp"
+KIND_ABORT = "own.abort"
+KIND_FETCH = "own.fetch"
+KIND_DATA = "own.data"
+
+_META = 8  # modeled bytes per metadata field
+
+
+class ReqType(IntEnum):
+    """Sharding request types (Sections 4 and 6.2)."""
+
+    ACQUIRE_OWNER = 0
+    ADD_READER = 1
+    REMOVE_READER = 2
+
+
+class NackReason(IntEnum):
+    BUSY_ARBITRATION = 0   # directory entry already mid-arbitration
+    BUSY_COMMIT = 1        # owner has a pending reliable commit / open txn
+    CONTENTION_LOST = 2    # a larger-o_ts contender won
+    RECOVERING = 3         # owner dead, recovery barrier not lifted yet
+    ALREADY_GRANTED = 4    # requester already holds the level (success no-op)
+    NO_DATA = 5            # owner and all readers dead (beyond f failures)
+    TIMEOUT = 6            # requester-side watchdog fired
+
+
+class OwnReq:
+    __slots__ = ("req_id", "oid", "requester", "req_type", "epoch", "victim")
+
+    def __init__(self, req_id: int, oid: ObjectId, requester: NodeId,
+                 req_type: ReqType, epoch: int, victim: Optional[NodeId] = None):
+        self.req_id = req_id
+        self.oid = oid
+        self.requester = requester
+        self.req_type = req_type
+        self.epoch = epoch
+        #: Reader to discard, for REMOVE_READER.
+        self.victim = victim
+
+    size = 5 * _META
+
+
+class OwnInv:
+    __slots__ = ("req_id", "oid", "o_ts", "new_replicas", "requester",
+                 "req_type", "epoch", "replay", "arbiters", "data_source",
+                 "prev_replicas", "prev_ts")
+
+    def __init__(self, req_id: int, oid: ObjectId, o_ts: Ots,
+                 new_replicas: ReplicaSet, requester: NodeId, req_type: ReqType,
+                 epoch: int, arbiters: Tuple[NodeId, ...],
+                 data_source: Optional[NodeId],
+                 prev_replicas: ReplicaSet, prev_ts: Ots,
+                 replay: bool = False):
+        self.req_id = req_id
+        self.oid = oid
+        self.o_ts = o_ts
+        self.new_replicas = new_replicas
+        self.requester = requester
+        self.req_type = req_type
+        self.epoch = epoch
+        self.replay = replay
+        #: All arbiters of this request (directory nodes + current owner).
+        self.arbiters = arbiters
+        #: Node whose ACK must carry the object value (None if requester
+        #: already stores it).
+        self.data_source = data_source
+        #: Pre-arbitration metadata, retained so an abort can revert.
+        self.prev_replicas = prev_replicas
+        self.prev_ts = prev_ts
+
+    @property
+    def size(self) -> int:
+        return (8 + len(self.arbiters) + self.new_replicas.size()) * _META
+
+    def replayed_by(self, driver: NodeId, epoch: int,
+                    arbiters: Tuple[NodeId, ...]) -> "OwnInv":
+        """The identical idempotent INV, re-driven after a failure."""
+        inv = OwnInv(self.req_id, self.oid, self.o_ts, self.new_replicas,
+                     self.requester, self.req_type, epoch, arbiters,
+                     self.data_source, self.prev_replicas, self.prev_ts,
+                     replay=True)
+        return inv
+
+
+class OwnAck:
+    __slots__ = ("req_id", "oid", "o_ts", "epoch", "arbiters", "new_replicas",
+                 "data", "data_version")
+
+    def __init__(self, req_id: int, oid: ObjectId, o_ts: Ots, epoch: int,
+                 arbiters: Tuple[NodeId, ...], new_replicas: ReplicaSet,
+                 data: Any = None, data_version: Optional[int] = None):
+        self.req_id = req_id
+        self.oid = oid
+        self.o_ts = o_ts
+        self.epoch = epoch
+        self.arbiters = arbiters
+        self.new_replicas = new_replicas
+        self.data = data
+        self.data_version = data_version
+
+    def size_with(self, obj_size: int) -> int:
+        base = (6 + len(self.arbiters)) * _META
+        return base + (obj_size if self.data_version is not None else 0)
+
+
+class OwnNack:
+    __slots__ = ("req_id", "oid", "reason", "epoch", "arbiters", "o_ts")
+
+    def __init__(self, req_id: int, oid: ObjectId, reason: NackReason,
+                 epoch: int, arbiters: Tuple[NodeId, ...] = (),
+                 o_ts: Optional[Ots] = None):
+        self.req_id = req_id
+        self.oid = oid
+        self.reason = reason
+        self.epoch = epoch
+        #: Arbiters the requester must ABORT (owner-busy NACKs only).
+        self.arbiters = arbiters
+        self.o_ts = o_ts
+
+    size = 5 * _META
+
+
+class OwnVal:
+    __slots__ = ("req_id", "oid", "o_ts", "epoch")
+
+    def __init__(self, req_id: int, oid: ObjectId, o_ts: Ots, epoch: int):
+        self.req_id = req_id
+        self.oid = oid
+        self.o_ts = o_ts
+        self.epoch = epoch
+
+    size = 4 * _META
+
+
+class OwnResp:
+    """Replay driver → live requester: arbitration won, apply then VAL."""
+
+    __slots__ = ("req_id", "oid", "o_ts", "epoch", "new_replicas",
+                 "arbiters", "data_source")
+
+    def __init__(self, req_id: int, oid: ObjectId, o_ts: Ots, epoch: int,
+                 new_replicas: ReplicaSet, arbiters: Tuple[NodeId, ...],
+                 data_source: Optional[NodeId]):
+        self.req_id = req_id
+        self.oid = oid
+        self.o_ts = o_ts
+        self.epoch = epoch
+        self.new_replicas = new_replicas
+        self.arbiters = arbiters
+        self.data_source = data_source
+
+    size = 8 * _META
+
+
+class OwnAbort:
+    __slots__ = ("req_id", "oid", "o_ts", "epoch")
+
+    def __init__(self, req_id: int, oid: ObjectId, o_ts: Ots, epoch: int):
+        self.req_id = req_id
+        self.oid = oid
+        self.o_ts = o_ts
+        self.epoch = epoch
+
+    size = 4 * _META
+
+
+class OwnFetch:
+    __slots__ = ("req_id", "oid", "epoch")
+
+    def __init__(self, req_id: int, oid: ObjectId, epoch: int):
+        self.req_id = req_id
+        self.oid = oid
+        self.epoch = epoch
+
+    size = 3 * _META
+
+
+class OwnData:
+    __slots__ = ("req_id", "oid", "epoch", "data", "data_version")
+
+    def __init__(self, req_id: int, oid: ObjectId, epoch: int,
+                 data: Any, data_version: int):
+        self.req_id = req_id
+        self.oid = oid
+        self.epoch = epoch
+        self.data = data
+        self.data_version = data_version
+
+    def size_with(self, obj_size: int) -> int:
+        return 4 * _META + obj_size

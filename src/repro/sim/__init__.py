@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate (kernel, processes, resources, RNG)."""
+
+from .kernel import EventHandle, SimulationError, Simulator
+from .params import FaultParams, NetParams, SimParams
+from .process import Event, Future, Process, all_of, sleep
+from .resources import CpuPool, CpuServer, FifoLock
+from .rng import RngRegistry
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "SimulationError",
+    "Future",
+    "Process",
+    "Event",
+    "all_of",
+    "sleep",
+    "CpuServer",
+    "CpuPool",
+    "FifoLock",
+    "RngRegistry",
+    "SimParams",
+    "NetParams",
+    "FaultParams",
+]

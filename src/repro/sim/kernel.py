@@ -1,0 +1,140 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a classic event-heap scheduler with a simulated clock measured
+in **microseconds** (float).  Everything else in this repository — the
+network, the cluster nodes, the Zeus protocols, the workloads — runs on top
+of it, which is what makes a protocol-faithful reproduction of a DPDK-speed
+system feasible in Python: latency and CPU costs are *model parameters*, not
+wall-clock artifacts.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), and all
+randomness flows through :mod:`repro.sim.rng`, so a run is a pure function
+of its seed and parameters.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Simulator", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it; O(1), lazily removed."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event-heap simulator with a microsecond clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.call_after(10.0, handler, arg)
+        sim.run(until=1_000_000)   # one simulated second
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._seq: int = 0
+        self._events_executed: int = 0
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total events fired so far (useful for budget checks in tests)."""
+        return self._events_executed
+
+    # ------------------------------------------------------------- scheduling
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        handle = EventHandle(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the current time (after pending events)."""
+        return self.call_at(self._now, fn, *args)
+
+    # -------------------------------------------------------------- execution
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the heap is empty."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._events_executed += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so rate computations based on
+        ``sim.now`` are exact.
+        """
+        budget = max_events if max_events is not None else -1
+        heap = self._heap
+        while heap:
+            time, _seq, handle = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._events_executed += 1
+            handle.fn(*handle.args)
+            if budget > 0:
+                budget -= 1
+                if budget == 0:
+                    return
+        if until is not None and self._now < until:
+            self._now = until
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next non-cancelled event, or None."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None

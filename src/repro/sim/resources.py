@@ -1,0 +1,160 @@
+"""Shared-resource models: CPU servers/pools and FIFO locks.
+
+The paper's testbed pins application threads and datastore worker threads to
+dedicated cores (Section 7).  We model a pinned thread as a
+:class:`CpuServer` — a serial, non-preemptive queue of work items — and the
+per-node datastore worker pool as a :class:`CpuPool` of such servers.
+Charging a cost to a server advances its "busy until" horizon; the returned
+future completes when the work would have finished on real hardware.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from .kernel import Simulator
+from .process import Future
+
+__all__ = ["CpuServer", "CpuPool", "FifoLock"]
+
+
+class CpuServer:
+    """A single serial execution resource (one pinned core/thread).
+
+    ``execute(cost)`` queues ``cost`` microseconds of work behind whatever is
+    already queued and returns a future completing when it is done.
+    """
+
+    __slots__ = ("sim", "name", "_free_at", "busy_time")
+
+    def __init__(self, sim: Simulator, name: str = "cpu"):
+        self.sim = sim
+        self.name = name
+        self._free_at = 0.0
+        self.busy_time = 0.0  # total work charged, for utilization metrics
+
+    @property
+    def free_at(self) -> float:
+        return self._free_at
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent busy (can exceed 1 if overloaded)."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+    def execute(self, cost: float) -> Future:
+        """Charge ``cost`` µs of work; future completes at finish time."""
+        if cost < 0:
+            raise ValueError(f"negative cost {cost}")
+        start = max(self.sim.now, self._free_at)
+        end = start + cost
+        self._free_at = end
+        self.busy_time += cost
+        fut = Future(self.sim)
+        self.sim.call_at(end, fut.set_result, None)
+        return fut
+
+    def charge(self, cost: float) -> float:
+        """Charge work without a completion future; returns finish time.
+
+        Used for fire-and-forget message handling where nothing waits on the
+        handler but the worker's queueing delay must still accrue.
+        """
+        start = max(self.sim.now, self._free_at)
+        self._free_at = start + cost
+        self.busy_time += cost
+        return self._free_at
+
+
+class CpuPool:
+    """``k`` identical servers fed FIFO from a single queue.
+
+    Models the datastore worker-thread pool of a node: an incoming protocol
+    message is handled by whichever worker frees first.
+    """
+
+    __slots__ = ("sim", "name", "_free_heap", "busy_time", "size")
+
+    def __init__(self, sim: Simulator, size: int, name: str = "pool"):
+        if size < 1:
+            raise ValueError("pool needs at least one server")
+        self.sim = sim
+        self.name = name
+        self.size = size
+        self._free_heap: List[float] = [0.0] * size
+        heapq.heapify(self._free_heap)
+        self.busy_time = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        total = elapsed * self.size
+        return self.busy_time / total if total > 0 else 0.0
+
+    def execute(self, cost: float) -> Future:
+        """Charge ``cost`` to the earliest-free worker; future at finish."""
+        fut = Future(self.sim)
+        end = self._assign(cost)
+        self.sim.call_at(end, fut.set_result, None)
+        return fut
+
+    def charge(self, cost: float) -> float:
+        """Charge without a future; returns the finish time."""
+        return self._assign(cost)
+
+    def _assign(self, cost: float) -> float:
+        if cost < 0:
+            raise ValueError(f"negative cost {cost}")
+        earliest = heapq.heappop(self._free_heap)
+        start = max(self.sim.now, earliest)
+        end = start + cost
+        heapq.heappush(self._free_heap, end)
+        self.busy_time += cost
+        return end
+
+
+class FifoLock:
+    """A strictly FIFO mutex for processes (used by the local commit layer).
+
+    ``acquire()`` returns a future that completes when the caller holds the
+    lock; ``release()`` hands it to the next waiter at the current time.
+    """
+
+    __slots__ = ("sim", "_locked", "_waiters", "owner")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._locked = False
+        self._waiters: Deque[Tuple[Future, object]] = deque()
+        self.owner: Optional[object] = None
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self, owner: object = None) -> Future:
+        fut = Future(self.sim)
+        if not self._locked:
+            self._locked = True
+            self.owner = owner
+            fut.set_result(None)
+        else:
+            self._waiters.append((fut, owner))
+        return fut
+
+    def try_acquire(self, owner: object = None) -> bool:
+        if self._locked:
+            return False
+        self._locked = True
+        self.owner = owner
+        return True
+
+    def release(self) -> None:
+        if not self._locked:
+            raise RuntimeError("release of unlocked lock")
+        if self._waiters:
+            fut, owner = self._waiters.popleft()
+            self.owner = owner
+            fut.set_result(None)
+        else:
+            self._locked = False
+            self.owner = None

@@ -1,0 +1,21 @@
+"""Datastore substrate: metadata, catalog, per-node store, directory."""
+
+from .catalog import Catalog, ObjectId, TableSpec
+from .directory import DirectoryTable, DirEntry
+from .meta import AccessLevel, Ots, OState, ReplicaSet, TState
+from .object_store import ObjectStore, StoredObject
+
+__all__ = [
+    "Catalog",
+    "TableSpec",
+    "ObjectId",
+    "OState",
+    "TState",
+    "AccessLevel",
+    "Ots",
+    "ReplicaSet",
+    "ObjectStore",
+    "StoredObject",
+    "DirectoryTable",
+    "DirEntry",
+]

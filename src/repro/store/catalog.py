@@ -1,0 +1,147 @@
+"""Global object naming: tables, keys, object ids, sizes, initial placement.
+
+The catalog is deployment-wide static configuration (which tables exist,
+how big their rows are, where objects start out).  It deliberately carries
+no *dynamic* state — current ownership lives in the directory and moves at
+runtime via the ownership protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..net.message import NodeId
+from .meta import ReplicaSet
+
+__all__ = ["Catalog", "TableSpec", "ObjectId"]
+
+#: Objects are identified by dense integers for speed.
+ObjectId = int
+
+
+class TableSpec:
+    """A table: a named collection of fixed-size objects."""
+
+    __slots__ = ("name", "obj_size", "table_id", "first_oid", "count")
+
+    def __init__(self, name: str, obj_size: int, table_id: int):
+        self.name = name
+        self.obj_size = obj_size
+        self.table_id = table_id
+        self.first_oid: Optional[ObjectId] = None
+        self.count = 0
+
+
+class Catalog:
+    """Assigns dense object ids and remembers per-object size + placement."""
+
+    def __init__(self, num_nodes: int, replication_degree: int = 3,
+                 directory_mode: str = "single"):
+        if replication_degree < 1:
+            raise ValueError("replication degree must be >= 1")
+        if replication_degree > num_nodes:
+            raise ValueError(
+                f"replication degree {replication_degree} exceeds cluster size {num_nodes}"
+            )
+        if directory_mode not in ("single", "hashed"):
+            raise ValueError(f"unknown directory mode {directory_mode!r}")
+        self.num_nodes = num_nodes
+        self.replication_degree = replication_degree
+        #: "single": one directory replicated on the first three nodes
+        #: (the paper's default).  "hashed": per-object directory triplets
+        #: by rendezvous hashing — the distributed-directory scheme §6.2
+        #: prescribes for large deployments or limited locality.
+        self.directory_mode = directory_mode
+        self.tables: Dict[str, TableSpec] = {}
+        self._sizes: List[int] = []
+        self._initial_owner: List[NodeId] = []
+        self._key_index: Dict[Tuple[str, object], ObjectId] = {}
+
+    # -------------------------------------------------------------- schema
+
+    def add_table(self, name: str, obj_size: int) -> TableSpec:
+        if name in self.tables:
+            raise ValueError(f"table {name!r} already exists")
+        spec = TableSpec(name, obj_size, table_id=len(self.tables))
+        self.tables[name] = spec
+        return spec
+
+    def create_object(self, table: str, key: object,
+                      owner: Optional[NodeId] = None) -> ObjectId:
+        """Register one object; returns its oid.
+
+        ``owner`` fixes initial placement; default hashes the key across
+        nodes (static sharding, the baseline's only placement mechanism).
+        """
+        spec = self.tables[table]
+        oid = len(self._sizes)
+        if spec.first_oid is None:
+            spec.first_oid = oid
+        spec.count += 1
+        self._sizes.append(spec.obj_size)
+        if owner is None:
+            owner = self._hash_place(table, key)
+        self._initial_owner.append(owner)
+        self._key_index[(table, key)] = oid
+        return oid
+
+    def create_objects(self, table: str, keys: Iterable[object],
+                       place: Optional[Callable[[object], NodeId]] = None) -> List[ObjectId]:
+        return [
+            self.create_object(table, key, owner=place(key) if place else None)
+            for key in keys
+        ]
+
+    def _hash_place(self, table: str, key: object) -> NodeId:
+        from ..sim.rng import hash_str
+
+        return hash_str(f"{table}:{key}") % self.num_nodes
+
+    # -------------------------------------------------------------- lookup
+
+    def oid(self, table: str, key: object) -> ObjectId:
+        return self._key_index[(table, key)]
+
+    def size_of(self, oid: ObjectId) -> int:
+        return self._sizes[oid]
+
+    def initial_owner(self, oid: ObjectId) -> NodeId:
+        return self._initial_owner[oid]
+
+    def initial_replicas(self, oid: ObjectId) -> ReplicaSet:
+        """Owner plus the next ``degree - 1`` nodes round-robin."""
+        owner = self._initial_owner[oid]
+        readers = tuple(
+            sorted((owner + i) % self.num_nodes for i in range(1, self.replication_degree))
+        )
+        return ReplicaSet(owner, readers)
+
+    @property
+    def num_objects(self) -> int:
+        return len(self._sizes)
+
+    def directory_nodes(self) -> Tuple[NodeId, ...]:
+        """The (up to) three nodes hosting cluster-wide directory duties
+        (the recovery barrier always lives here, whatever the mode)."""
+        return tuple(range(min(3, self.num_nodes)))
+
+    def directory_nodes_for(self, oid: ObjectId) -> Tuple[NodeId, ...]:
+        """The directory replicas arbitrating ``oid``.
+
+        Single mode: the fixed first-three nodes.  Hashed mode: the top
+        three nodes by rendezvous hash of (oid, node) — stable per object,
+        uniformly spread, and minimally disturbed by membership changes.
+        """
+        if self.directory_mode == "single" or self.num_nodes <= 3:
+            return self.directory_nodes()
+        from ..sim.rng import hash_str
+
+        ranked = sorted(range(self.num_nodes),
+                        key=lambda n: hash_str(f"dir:{oid}:{n}"))
+        return tuple(sorted(ranked[:3]))
+
+    def hosts_directory(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` may hold directory entries at all."""
+        if self.directory_mode == "hashed" and self.num_nodes > 3:
+            return True
+        return node_id in self.directory_nodes()

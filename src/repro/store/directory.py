@@ -1,0 +1,88 @@
+"""The replicated ownership directory.
+
+"Zeus maintains an ownership directory where it stores ownership metadata
+about each object.  This directory is replicated across three nodes for
+reliability" (Section 4).  Each directory node holds a
+:class:`DirectoryTable`: per-object ownership state, timestamp, and replica
+set, plus the transient arbitration context needed to replay a pending
+request after a failure (the stored INV is what makes arb-replay possible).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..net.message import NodeId
+from .catalog import ObjectId
+from .meta import Ots, OState, ReplicaSet
+
+__all__ = ["DirEntry", "DirectoryTable"]
+
+
+class DirEntry:
+    """Ownership metadata for one object at one directory node."""
+
+    __slots__ = ("o_state", "o_ts", "replicas", "pending")
+
+    def __init__(self, replicas: ReplicaSet, o_ts: Ots = Ots(0, 0)):
+        self.o_state = OState.VALID
+        self.o_ts = o_ts
+        self.replicas = replicas
+        #: The INV payload of the in-flight request (for arb-replay), plus
+        #: the pre-arbitration metadata needed to revert on abort.
+        self.pending: Optional[Any] = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DirEntry({self.o_state.name} {self.o_ts} {self.replicas})"
+
+
+class DirectoryTable:
+    """All directory entries held by one directory node."""
+
+    def __init__(self, node_id: NodeId):
+        self.node_id = node_id
+        self._entries: Dict[ObjectId, DirEntry] = {}
+
+    def create(self, oid: ObjectId, replicas: ReplicaSet,
+               o_ts: Ots = Ots(0, 0)) -> DirEntry:
+        if oid in self._entries:
+            raise ValueError(f"directory entry for {oid} already exists")
+        entry = DirEntry(replicas, o_ts)
+        self._entries[oid] = entry
+        return entry
+
+    def get(self, oid: ObjectId) -> Optional[DirEntry]:
+        return self._entries.get(oid)
+
+    def require(self, oid: ObjectId) -> DirEntry:
+        entry = self._entries.get(oid)
+        if entry is None:
+            raise KeyError(f"directory node {self.node_id} has no entry for {oid}")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[Tuple[ObjectId, DirEntry]]:
+        return iter(self._entries.items())
+
+    def strip_dead(self, live: frozenset) -> int:
+        """Remove non-live nodes from every replica set (view change).
+
+        Returns how many entries changed.  Objects whose owner died keep
+        ``owner=None`` until the next write transaction re-acquires them.
+        """
+        changed = 0
+        for entry in self._entries.values():
+            replicas = entry.replicas
+            if replicas is None:
+                continue
+            nodes = replicas.all_nodes()
+            dead = nodes - live
+            if not dead:
+                continue
+            for nid in dead:
+                replicas = replicas.without(nid)
+            entry.replicas = replicas
+            changed += 1
+        return changed

@@ -1,0 +1,95 @@
+"""Per-node in-memory object store.
+
+A node stores a :class:`StoredObject` for every object it replicates (as
+owner or reader) — non-replicas store nothing, per Table 1.  The object
+carries both metadata planes:
+
+* transactional: ``t_state`` / ``t_version`` / ``t_data`` (Section 5),
+* ownership:    ``o_state`` / ``o_ts`` / ``o_replicas`` (Section 4), kept
+  authoritative at the owner and the directory nodes.
+
+It also carries the *local* ownership used by the multi-threaded local
+commit (Section 7): a lightweight per-object thread lock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from ..net.message import NodeId
+from .catalog import ObjectId
+from .meta import Ots, OState, ReplicaSet, TState
+
+__all__ = ["StoredObject", "ObjectStore"]
+
+
+class StoredObject:
+    """One object replica on one node."""
+
+    __slots__ = (
+        "oid",
+        "t_state",
+        "t_version",
+        "t_data",
+        "o_state",
+        "o_ts",
+        "o_replicas",
+        "locked_by",
+    )
+
+    def __init__(self, oid: ObjectId, data: Any = None,
+                 replicas: Optional[ReplicaSet] = None,
+                 o_ts: Ots = Ots(0, 0)):
+        self.oid = oid
+        self.t_state = TState.VALID
+        self.t_version = 0
+        self.t_data = data
+        self.o_state = OState.VALID
+        self.o_ts = o_ts
+        self.o_replicas = replicas
+        #: Local-commit thread ownership (Section 7); None when free.
+        self.locked_by: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"StoredObject({self.oid} t={self.t_state.name}/v{self.t_version} "
+            f"o={self.o_state.name}/{self.o_ts} r={self.o_replicas})"
+        )
+
+
+class ObjectStore:
+    """All replicas held by one node."""
+
+    def __init__(self, node_id: NodeId):
+        self.node_id = node_id
+        self._objects: Dict[ObjectId, StoredObject] = {}
+
+    def create(self, oid: ObjectId, data: Any,
+               replicas: ReplicaSet, o_ts: Ots = Ots(0, 0)) -> StoredObject:
+        if oid in self._objects:
+            raise ValueError(f"object {oid} already stored on node {self.node_id}")
+        obj = StoredObject(oid, data, replicas, o_ts)
+        self._objects[oid] = obj
+        return obj
+
+    def get(self, oid: ObjectId) -> Optional[StoredObject]:
+        return self._objects.get(oid)
+
+    def require(self, oid: ObjectId) -> StoredObject:
+        obj = self._objects.get(oid)
+        if obj is None:
+            raise KeyError(f"node {self.node_id} does not replicate object {oid}")
+        return obj
+
+    def drop(self, oid: ObjectId) -> None:
+        """Discard the replica (reader trim / non-replica demotion)."""
+        self._objects.pop(oid, None)
+
+    def has(self, oid: ObjectId) -> bool:
+        return oid in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[StoredObject]:
+        return iter(self._objects.values())

@@ -1,0 +1,15 @@
+"""Transaction layer: the tr_* API, local commit, retries, opacity."""
+
+from .api import TxnResult, ZeusAPI
+from .errors import AbortReason, TxnAborted
+from .transaction import ReadOnlyTransaction, Transaction, TxnStats
+
+__all__ = [
+    "ZeusAPI",
+    "TxnResult",
+    "Transaction",
+    "ReadOnlyTransaction",
+    "TxnStats",
+    "TxnAborted",
+    "AbortReason",
+]

@@ -1,0 +1,287 @@
+"""High-level transaction API: retry loops, back-off, result accounting.
+
+Workload drivers call :meth:`ZeusAPI.execute_write` /
+:meth:`ZeusAPI.execute_read` with declarative read/write sets; applications
+that need interactivity use :meth:`tr_create` / :meth:`tr_r_create` and the
+``Transaction`` object directly (the paper's API shape).
+
+Retry policy (Section 6.2, "Deadlocks"): an aborted attempt — ownership
+denied, local lock conflict, read validation failure — is retried after an
+exponential randomized back-off, which is how Zeus sidesteps distributed
+deadlock during the Prepare phase.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..commit.manager import CommitManager
+from ..ownership.manager import OwnershipManager
+from ..store.catalog import Catalog, ObjectId
+from .errors import AbortReason, TxnAborted
+from .transaction import ReadOnlyTransaction, Transaction
+
+__all__ = ["ZeusAPI", "TxnResult"]
+
+#: compute(oid, old_value) -> new_value; default is a version-ish bump.
+ComputeFn = Callable[[ObjectId, Any], Any]
+
+
+def _default_compute(oid: ObjectId, old: Any) -> Any:
+    return (old or 0) + 1 if isinstance(old, (int, float)) or old is None else old
+
+
+class TxnResult:
+    """Outcome of one logical transaction (including its retries)."""
+
+    __slots__ = ("committed", "aborts", "ownership_requests",
+                 "acquired_objects", "latency_us", "abort_reason")
+
+    def __init__(self) -> None:
+        self.committed = False
+        self.aborts = 0
+        self.ownership_requests = 0
+        self.acquired_objects = 0
+        self.latency_us = 0.0
+        self.abort_reason: Optional[str] = None
+
+
+class ZeusAPI:
+    """Per-node transaction facade (the ``tr_*`` API surface)."""
+
+    def __init__(self, node, store, catalog: Catalog,
+                 ownership: OwnershipManager, commit_mgr: CommitManager,
+                 rng: Optional[random.Random] = None,
+                 max_retries: int = 100):
+        self.node = node
+        self.store = store
+        self.catalog = catalog
+        self.ownership = ownership
+        self.commit_mgr = commit_mgr
+        self.params = node.params
+        self.rng = rng or random.Random(node.node_id)
+        self.max_retries = max_retries
+
+    # ------------------------------------------------------ paper-shaped API
+
+    def tr_create(self, thread: int = 0) -> Transaction:
+        """Begin a write transaction (paper: ``tr_create``)."""
+        return Transaction(self.node, self.store, self.catalog,
+                           self.ownership, self.commit_mgr, thread)
+
+    def tr_r_create(self, thread: int = 0) -> ReadOnlyTransaction:
+        """Begin a read-only transaction (paper: ``tr_r_create``)."""
+        return ReadOnlyTransaction(self.node, self.store, self.catalog,
+                                   self.ownership, self.commit_mgr, thread)
+
+    # -------------------------------------------------------- driver helpers
+
+    def execute_write(self, thread: int, write_set: Sequence[ObjectId],
+                      read_set: Sequence[ObjectId] = (),
+                      exec_us: float = 0.0,
+                      compute: Optional[ComputeFn] = None):
+        """Generator: run one write transaction to commit (with retries).
+
+        Returns a :class:`TxnResult`.  Fully-local conflict-free
+        transactions — the common case Zeus is built around — take a fast
+        path that batches all CPU charges into a single simulator event;
+        anything needing ownership acquisition, or hitting a conflict,
+        falls back to the general interactive path with back-off.
+        """
+        result = TxnResult()
+        start = self.node.sim.now
+        compute = compute or _default_compute
+        committed = yield from self._fast_write(thread, write_set, read_set,
+                                                exec_us, compute, result)
+        if committed:
+            result.committed = True
+            result.latency_us = self.node.sim.now - start
+            return result
+        backoff = self.params.own_backoff_us
+        for _attempt in range(self.max_retries):
+            txn = self.tr_create(thread)
+            try:
+                yield self.params.txn_setup_us
+                for oid in write_set:
+                    old = yield from txn.open_write(oid)
+                    txn.write(oid, compute(oid, old))
+                for oid in read_set:
+                    yield from txn.open_read(oid)
+                if exec_us > 0:
+                    yield exec_us
+                yield from txn.commit()
+                result.committed = True
+                break
+            except TxnAborted as abort:
+                result.aborts += 1
+                result.abort_reason = abort.reason
+                yield backoff * (0.5 + self.rng.random())
+                backoff = min(backoff * 2, self.params.own_backoff_max_us)
+            finally:
+                result.ownership_requests += txn.stats.ownership_requests
+                result.acquired_objects += txn.stats.acquired_objects
+        else:
+            result.abort_reason = AbortReason.RETRIES_EXHAUSTED
+        result.latency_us = self.node.sim.now - start
+        return result
+
+    def execute_read(self, thread: int, read_set: Sequence[ObjectId],
+                     exec_us: float = 0.0):
+        """Generator: run one read-only transaction to commit (retries).
+
+        Returns a :class:`TxnResult` whose ``values`` of the final attempt
+        are exposed via the returned transaction buffer when needed.
+        """
+        result = TxnResult()
+        start = self.node.sim.now
+        committed = yield from self._fast_read(read_set, exec_us, result)
+        if committed:
+            result.committed = True
+            result.latency_us = self.node.sim.now - start
+            return result
+        backoff = self.params.own_backoff_us
+        for _attempt in range(self.max_retries):
+            txn = self.tr_r_create(thread)
+            try:
+                yield self.params.txn_setup_us
+                for oid in read_set:
+                    yield from txn.open_read(oid)
+                if exec_us > 0:
+                    yield exec_us
+                yield from txn.commit()
+                result.committed = True
+                break
+            except TxnAborted as abort:
+                result.aborts += 1
+                result.abort_reason = abort.reason
+                yield backoff * (0.5 + self.rng.random())
+                backoff = min(backoff * 2, self.params.own_backoff_max_us)
+            finally:
+                result.ownership_requests += txn.stats.ownership_requests
+                result.acquired_objects += txn.stats.acquired_objects
+        else:
+            result.abort_reason = AbortReason.RETRIES_EXHAUSTED
+        result.latency_us = self.node.sim.now - start
+        return result
+
+    # ------------------------------------------------------------ fast paths
+
+    def _fast_read(self, read_set, exec_us: float, result: TxnResult):
+        """Generator: read-only fast path (Section 5.3) in one event.
+
+        Buffers versions, sleeps the combined CPU cost, then re-verifies —
+        identical to :class:`ReadOnlyTransaction` with the per-read yields
+        coalesced.  Falls back (False) when any object is missing here or
+        currently invalidated.
+        """
+        from ..store.meta import TState
+
+        store = self.store
+        snapshot = []
+        for oid in read_set:
+            obj = store.get(oid)
+            if obj is None or obj.t_state != TState.VALID:
+                return False
+            snapshot.append((obj, obj.t_version))
+        p = self.params
+        yield (p.txn_setup_us + len(snapshot) * p.open_read_us
+               + exec_us + p.local_commit_us)
+        if not all(obj.t_state == TState.VALID and obj.t_version == ver
+                   for obj, ver in snapshot):
+            result.aborts += 1
+            return False
+        return True
+
+    def _fast_write(self, thread: int, write_set, read_set, exec_us: float,
+                    compute: ComputeFn, result: TxnResult):
+        """Generator: the all-local conflict-free write fast path.
+
+        Semantically identical to the interactive path — same locks, same
+        read validation, same reliable-commit hand-off — but with every CPU
+        charge folded into one simulator event.  Returns False (without
+        side effects beyond an abort count) whenever the transaction needs
+        anything the fast path cannot give it: ownership acquisition, a
+        lock wait, or pipeline back-pressure.
+        """
+        from ..store.meta import OState, TState
+
+        me = (self.node.node_id, thread)
+        store = self.store
+        node_id = self.node.node_id
+        writes = []
+        for oid in write_set:
+            obj = store.get(oid)
+            if (obj is None or obj.o_state != OState.VALID
+                    or obj.o_replicas is None
+                    or obj.o_replicas.owner != node_id
+                    or (obj.locked_by is not None and obj.locked_by != me)):
+                return False
+            writes.append(obj)
+        reads = []       # reader-level: validate by version at commit
+        owner_reads = [] # owner-level: lock like the interactive path does
+        for oid in read_set:
+            obj = store.get(oid)
+            if obj is None or obj.o_state == OState.INVALID:
+                return False
+            if obj.o_replicas is not None and obj.o_replicas.owner == node_id:
+                if obj.locked_by is not None and obj.locked_by != me:
+                    return False
+                owner_reads.append(obj)
+            elif obj.t_state != TState.VALID:
+                return False
+            else:
+                reads.append((obj, obj.t_version))
+        cm = self.commit_mgr
+        if writes and cm.pipeline_depth(thread) >= cm.max_pipeline_depth:
+            return False
+
+        for obj in writes:
+            obj.locked_by = me
+        for obj in owner_reads:
+            obj.locked_by = me
+
+        p = self.params
+        catalog = self.catalog
+        cost = p.txn_setup_us + exec_us + p.local_commit_us
+        for obj in writes:
+            cost += (p.open_write_us + p.local_commit_per_obj_us
+                     + catalog.size_of(obj.oid) * p.copy_us_per_byte)
+        cost += (len(reads) + len(owner_reads)) * p.open_read_us
+        yield cost
+
+        ok = all(obj.t_state == TState.VALID and obj.t_version == ver
+                 for obj, ver in reads)
+        if not ok:
+            for obj in writes:
+                if obj.locked_by == me:
+                    obj.locked_by = None
+            for obj in owner_reads:
+                if obj.locked_by == me:
+                    obj.locked_by = None
+            result.aborts += 1
+            return False
+
+        updates = []
+        followers = set()
+        for obj in writes:
+            obj.t_data = compute(obj.oid, obj.t_data)
+            obj.t_version += 1
+            obj.t_state = TState.WRITE
+            updates.append((obj.oid, obj.t_version, obj.t_data,
+                            catalog.size_of(obj.oid)))
+            followers.update(obj.o_replicas.readers)
+            obj.locked_by = None
+        for obj in owner_reads:
+            if obj.locked_by == me:
+                obj.locked_by = None
+        if updates:
+            cm.submit(thread, updates, followers)
+        return True
+
+    # --------------------------------------------------------- direct reads
+
+    def peek(self, oid: ObjectId) -> Any:
+        """Non-transactional read of the local replica (tests/debugging)."""
+        obj = self.store.get(oid)
+        return obj.t_data if obj is not None else None

@@ -1,0 +1,25 @@
+"""Transaction-layer exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["TxnAborted", "AbortReason"]
+
+
+class AbortReason:
+    OWNERSHIP_DENIED = "ownership_denied"
+    LOCK_CONFLICT = "lock_conflict"
+    READ_CONFLICT = "read_conflict"
+    OBJECT_INVALID = "object_invalid"
+    RETRIES_EXHAUSTED = "retries_exhausted"
+
+
+class TxnAborted(Exception):
+    """A transaction attempt aborted; the caller may retry with back-off.
+
+    Zeus write transactions can only abort *before* local commit (opacity:
+    Section 6.2) — once locally committed they are irrevocable.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason

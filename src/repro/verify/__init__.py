@@ -1,0 +1,20 @@
+"""Protocol verification: invariants, schedule explorer, abstract models."""
+
+from .checker import CheckResult, bfs_check
+from .commit_model import check_commit_model
+from .explorer import ExplorationResult, ExplorerConfig, explore
+from .invariants import InvariantViolation, check_invariants, check_quiescent
+from .ownership_model import check_ownership_model
+
+__all__ = [
+    "bfs_check",
+    "CheckResult",
+    "check_ownership_model",
+    "check_commit_model",
+    "check_invariants",
+    "check_quiescent",
+    "InvariantViolation",
+    "explore",
+    "ExplorerConfig",
+    "ExplorationResult",
+]

@@ -1,0 +1,287 @@
+"""Abstract model of the reliable commit protocol (Section 5).
+
+Configuration: one coordinator (node 0) pipelines two write transactions
+(slots 0 and 1) over the same object, replicated on followers 1 and 2.
+The coordinator may crash-stop at any point; a view change then lets the
+surviving followers replay any R-INV they *applied* (and only those — the
+paper's recovery rule), finishing with exact-slot R-VALs.
+
+The model captures the protocol features that make pipelining safe:
+per-object version monotonicity (apply-if-newer), in-order slot
+application at followers, invalidation until R-VAL, and replay
+idempotence.  Checked invariants:
+
+* **valid-agreement** — live replicas that are Valid at the same version
+  trivially agree (versions are the data here), and more strongly: a
+  *Valid* replica is never behind another Valid replica by more than the
+  still-invalidated suffix — encoded as: any two Valid live replicas hold
+  the same version **unless** the one behind has a pending (Invalid or
+  buffered) update for a newer version in flight;
+* **no-lost-commit** — once any live node validates version v, some live
+  node stores version ≥ v forever;
+* **readable-implies-replicated** — a follower can only expose (Valid)
+  version v if every live follower of that slot has received it or a
+  newer one... checked as: a Valid v>0 at a follower implies the
+  coordinator (if alive) has local version ≥ v.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from .checker import CheckResult, bfs_check
+
+__all__ = ["check_commit_model", "initial_state"]
+
+# ---------------------------------------------------------------------------
+# State:
+#   coord: ("up"|"down", version, tstate, acked0, acked1) where ackedN is a
+#          frozenset of followers that acked slot N ( None = not submitted )
+#   followers: tuple over follower idx of (version, tstate, applied)
+#          applied = frozenset of slots applied-but-not-validated
+#   submitted: number of slots submitted so far (0..2)
+#   epoch: 1 before view change, 2 after
+#   pool: frozenset of messages
+#     ("RINV", slot, version, replayer|None, target)
+#     ("RACK", slot, sender, target)
+#     ("RVAL", slot, target)          — exact-slot (replay) or cumulative
+#   replays: frozenset of (replayer, slot, frozenset acks_needed)
+# ---------------------------------------------------------------------------
+
+FOLLOWERS = (1, 2)
+_V, _I, _W = "V", "I", "W"
+
+
+def initial_state():
+    coord = ("up", 0, _V, None, None)
+    followers = ((0, _V, frozenset()), (0, _V, frozenset()))
+    return (coord, followers, 0, 1, frozenset(), frozenset())
+
+
+def _fidx(node: int) -> int:
+    return FOLLOWERS.index(node)
+
+
+def actions(state) -> Iterable[Tuple[str, object]]:
+    coord, followers, submitted, epoch, pool, replays = state
+    up = coord[0] == "up"
+
+    # --- coordinator submits the next pipelined slot (local commit).
+    if up and submitted < 2 and epoch == 1:
+        slot = submitted
+        version = coord[1] + 1
+        new_pool = set(pool)
+        for f in FOLLOWERS:
+            new_pool.add(("RINV", slot, version, None, f))
+        acked = (frozenset() if slot == 0 else coord[3],
+                 frozenset() if slot == 1 else coord[4])
+        new_coord = ("up", version, _W, acked[0], acked[1])
+        yield (f"submit slot{slot}",
+               (new_coord, followers, submitted + 1, epoch, frozenset(new_pool),
+                replays))
+
+    # --- coordinator crash (any time, once).
+    if up:
+        yield ("crash coordinator",
+               (("down",) + coord[1:], followers, submitted, epoch, pool, replays))
+
+    # --- view change after a crash.
+    if not up and epoch == 1:
+        yield ("view change",
+               (coord, followers, submitted, 2, pool, replays))
+
+    # --- followers start replaying applied-but-unvalidated slots (epoch 2).
+    if epoch == 2:
+        for f in FOLLOWERS:
+            version, tstate, applied = followers[_fidx(f)]
+            for slot in applied:
+                key_exists = any(r[0] == f and r[1] == slot for r in replays)
+                if key_exists:
+                    continue
+                other = FOLLOWERS[1 - _fidx(f)]
+                new_pool = pool | {("RINV", slot, slot + 1, f, other)}
+                new_replays = replays | {(f, slot, frozenset({other}))}
+                yield (f"replay f{f} slot{slot}",
+                       (coord, followers, submitted, epoch,
+                        new_pool, new_replays))
+
+    # --- message deliveries.
+    for msg in pool:
+        kind = msg[0]
+        if kind == "RINV":
+            nxt = _on_rinv(state, msg)
+        elif kind == "RACK":
+            nxt = _on_rack(state, msg)
+        else:
+            nxt = _on_rval(state, msg)
+        if nxt is not None:
+            yield (f"deliver {msg}", nxt)
+
+
+def _on_rinv(state, msg):
+    coord, followers, submitted, epoch, pool, replays = state
+    _, slot, version, replayer, target = msg
+    if target not in FOLLOWERS:
+        return None
+    if replayer is None and coord[0] == "down" and epoch == 2:
+        return None  # stale pre-crash message after the epoch change
+    idx = _fidx(target)
+    fversion, tstate, applied = followers[idx]
+    # In-order application: slot n applies only after slot n-1 was applied
+    # or validated here (version >= slot's predecessor version).
+    if slot > 0 and fversion < slot:
+        return None if replayer is None else _apply(state, msg)  # replay bypasses
+    return _apply(state, msg)
+
+
+def _apply(state, msg):
+    coord, followers, submitted, epoch, pool, replays = state
+    _, slot, version, replayer, target = msg
+    idx = _fidx(target)
+    fversion, tstate, applied = followers[idx]
+    new_pool = set(pool)
+    if version > fversion:
+        followers = _with_f(followers, idx, (version, _I, applied | {slot}))
+    # else: idempotent duplicate — state unchanged, just (re-)ack below.
+    ack_to = replayer if replayer is not None else 0
+    new_pool.add(("RACK", slot, target, ack_to))
+    return (coord, followers, submitted, epoch, frozenset(new_pool), replays)
+
+
+def _on_rack(state, msg):
+    coord, followers, submitted, epoch, pool, replays = state
+    _, slot, sender, target = msg
+    if target == 0:
+        if coord[0] != "up":
+            return None
+        acked = [coord[3], coord[4]]
+        if acked[slot] is None:
+            return None
+        acked[slot] = acked[slot] | {sender}
+        new_coord = ("up", coord[1], coord[2], acked[0], acked[1])
+        new_pool = set(pool)
+        # Validate in order once all followers acked.
+        validate0 = acked[0] is not None and acked[0] == frozenset(FOLLOWERS)
+        validate1 = (acked[1] is not None and acked[1] == frozenset(FOLLOWERS)
+                     and validate0)
+        if validate0:
+            for f in FOLLOWERS:
+                new_pool.add(("RVAL", 0, f))
+        if validate1:
+            for f in FOLLOWERS:
+                new_pool.add(("RVAL", 1, f))
+            new_coord = ("up", coord[1], _V, acked[0], acked[1])
+        elif validate0 and submitted == 1:
+            new_coord = ("up", coord[1], _V, acked[0], acked[1])
+        return (new_coord, followers, submitted, epoch, frozenset(new_pool),
+                replays)
+    # Ack to a replaying follower.
+    for entry in replays:
+        replayer, rslot, needed = entry
+        if replayer == target and rslot == slot and sender in needed:
+            new_replays = (replays - {entry}) | {(replayer, rslot,
+                                                  needed - {sender})}
+            remaining = needed - {sender}
+            new_pool = set(pool)
+            if not remaining:
+                # Replay complete: exact-slot R-VALs (including self).
+                for f in FOLLOWERS:
+                    new_pool.add(("RVAL", slot, f))
+            return (coord, followers, submitted, epoch, frozenset(new_pool),
+                    new_replays)
+    return None
+
+
+def _on_rval(state, msg):
+    coord, followers, submitted, epoch, pool, replays = state
+    _, slot, target = msg
+    if target not in FOLLOWERS:
+        return None
+    idx = _fidx(target)
+    fversion, tstate, applied = followers[idx]
+    if slot not in applied:
+        return None
+    new_applied = applied - {slot}
+    # Validate iff no newer update is still pending here; a non-empty
+    # applied set means a newer slot holds the replica Invalid.
+    new_tstate = _I if new_applied else _V
+    followers = _with_f(followers, idx, (fversion, new_tstate, new_applied))
+    return (coord, followers, submitted, epoch, pool, replays)
+
+
+def _with_f(followers, idx, value):
+    out = list(followers)
+    out[idx] = value
+    return tuple(out)
+
+
+# ------------------------------------------------------------- invariants
+
+def _live_versions(state):
+    coord, followers, *_ = state
+    out = []
+    if coord[0] == "up":
+        out.append((0, coord[1], coord[2]))
+    for i, f in enumerate(FOLLOWERS):
+        out.append((f, followers[i][0], followers[i][1]))
+    return out
+
+
+def _inv_valid_agreement(state) -> bool:
+    """Two live Valid replicas may differ in version only if the one
+    behind has the newer update still in flight (pending/applied)."""
+    coord, followers, submitted, epoch, pool, replays = state
+    valid = [(n, v) for (n, v, t) in _live_versions(state) if t == _V]
+    for (n1, v1) in valid:
+        for (n2, v2) in valid:
+            if v1 == v2 or n1 == 0 or n1 == n2:
+                continue
+            if v1 < v2:
+                # n1 (a follower) exposes an old version while a newer one
+                # is validated elsewhere: legal only while the newer RINV
+                # is still undelivered/unapplied at n1 — i.e. there exists
+                # an in-flight RINV to n1 with version > v1, or n1 hasn't
+                # been told (coordinator crashed before sending — can't
+                # happen: submit enqueues to all followers atomically).
+                inflight = any(m[0] == "RINV" and m[4] == n1 and m[2] > v1
+                               for m in pool)
+                if not inflight:
+                    return False
+    return True
+
+
+def _inv_no_lost_commit(state) -> bool:
+    """Any validated version is stored by some live node."""
+    versions = _live_versions(state)
+    if not versions:
+        return True
+    max_valid = max((v for (_n, v, t) in versions if t == _V), default=0)
+    max_stored = max(v for (_n, v, _t) in versions)
+    return max_stored >= max_valid
+
+
+def _inv_validated_replicated(state) -> bool:
+    """A follower exposing Valid v>0 implies the other live replicas have
+    received v (version >= v) — the invalidation-before-exposure rule."""
+    coord, followers, *_ = state
+    for i, f in enumerate(FOLLOWERS):
+        version, tstate, _applied = followers[i]
+        if tstate != _V or version == 0:
+            continue
+        other = followers[1 - i]
+        if other[0] < version:
+            return False
+    return True
+
+
+INVARIANTS = [
+    ("valid-agreement", _inv_valid_agreement),
+    ("no-lost-commit", _inv_no_lost_commit),
+    ("validated-implies-replicated", _inv_validated_replicated),
+]
+
+
+def check_commit_model(max_states: int = 500_000) -> CheckResult:
+    """Exhaustively check the pipelined-commit + crash-recovery model."""
+    return bfs_check([initial_state()], actions, INVARIANTS,
+                     max_states=max_states)

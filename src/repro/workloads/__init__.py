@@ -1,0 +1,28 @@
+"""The paper's benchmark suite and locality analyses."""
+
+from .base import RunStats, TxnSpec, run_baseline_workload, run_zeus_workload
+from .handovers import HandoverWorkload
+from .mobility import MobilityModel
+from .smallbank import SMALLBANK_MIX, SmallbankWorkload
+from .tatp import TATP_MIX, TatpWorkload
+from .tpcc import TPCC_MIX, TpccAnalysis
+from .venmo import VenmoGraph
+from .voter import VoterWorkload, migrate_objects
+
+__all__ = [
+    "TxnSpec",
+    "RunStats",
+    "run_zeus_workload",
+    "run_baseline_workload",
+    "SmallbankWorkload",
+    "SMALLBANK_MIX",
+    "TatpWorkload",
+    "TATP_MIX",
+    "HandoverWorkload",
+    "MobilityModel",
+    "VoterWorkload",
+    "migrate_objects",
+    "VenmoGraph",
+    "TpccAnalysis",
+    "TPCC_MIX",
+]

@@ -1,0 +1,167 @@
+"""Workload driver machinery shared by all benchmarks.
+
+A workload instance produces :class:`TxnSpec`s *per node* — the routing the
+paper's application-level load balancer would perform has already happened
+(same-key requests always reach the same server; see
+``repro.lb.balancer.LoadBalancer.route`` for the in-path equivalent).
+
+Drivers are closed-loop: each application thread (and, for baselines, each
+coroutine within a thread) executes transactions back-to-back, which is how
+the paper saturates the systems ("enough colocated clients to saturate each
+evaluated system").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..baselines.cluster import BaselineCluster
+from ..harness.metrics import ThroughputMeter
+from ..harness.zeus_cluster import ZeusCluster
+from ..store.catalog import ObjectId
+
+__all__ = ["TxnSpec", "RunStats", "run_zeus_workload", "run_baseline_workload"]
+
+
+class TxnSpec:
+    """One transaction to execute at a given node."""
+
+    __slots__ = ("write_set", "read_set", "exec_us", "read_only", "tag")
+
+    def __init__(self, write_set: Sequence[ObjectId] = (),
+                 read_set: Sequence[ObjectId] = (),
+                 exec_us: float = 0.5, read_only: bool = False,
+                 tag: str = ""):
+        self.write_set = tuple(write_set)
+        self.read_set = tuple(read_set)
+        self.exec_us = exec_us
+        self.read_only = read_only
+        self.tag = tag
+
+
+#: spec_fn(node_id, thread, rng) -> TxnSpec | None (None = this thread idles
+#: briefly; generators use it when a node has no eligible work).
+SpecFn = Callable[[int, int, random.Random], Optional[TxnSpec]]
+#: Called after each committed transaction: on_commit(node_id, spec, result).
+CommitHook = Callable[[int, TxnSpec, object], None]
+
+
+class RunStats:
+    """Aggregated outcome of one workload run."""
+
+    def __init__(self) -> None:
+        self.meter = ThroughputMeter(bin_us=100_000.0)
+        self.committed = 0
+        self.aborted_txns = 0
+        self.retries = 0
+        self.ownership_requests = 0
+        self.objects_acquired = 0
+        self.per_tag: Dict[str, int] = {}
+
+    def throughput_tps(self, elapsed_us: float) -> float:
+        return self.meter.rate_tps(elapsed_us)
+
+
+def run_zeus_workload(cluster: ZeusCluster, spec_fn: SpecFn,
+                      duration_us: float, warmup_us: float = 0.0,
+                      threads: Optional[int] = None,
+                      nodes: Optional[Iterable[int]] = None,
+                      seed: int = 1,
+                      on_commit: Optional[CommitHook] = None) -> RunStats:
+    """Drive a Zeus cluster closed-loop and return aggregate stats.
+
+    Statistics only count transactions committed after ``warmup_us``.
+    """
+    stats = RunStats()
+    sim = cluster.sim
+    threads = threads if threads is not None else cluster.params.app_threads
+    node_ids = list(nodes) if nodes is not None else list(range(len(cluster.handles)))
+    stop_at = sim.now + duration_us
+    measure_from = sim.now + warmup_us
+
+    def worker(node_id: int, thread: int):
+        api = cluster.handles[node_id].api
+        rng = cluster.rng.stream(f"wl.{seed}.{node_id}.{thread}")
+        while sim.now < stop_at and cluster.nodes[node_id].alive:
+            spec = spec_fn(node_id, thread, rng)
+            if spec is None:
+                yield 5.0  # nothing routed here right now
+                continue
+            if spec.read_only:
+                result = yield from api.execute_read(thread, spec.read_set,
+                                                     spec.exec_us)
+            else:
+                result = yield from api.execute_write(thread, spec.write_set,
+                                                      spec.read_set,
+                                                      spec.exec_us)
+            if result.committed:
+                if sim.now >= measure_from:
+                    stats.committed += 1
+                    stats.meter.record(sim.now)
+                    stats.retries += result.aborts
+                    stats.ownership_requests += result.ownership_requests
+                    stats.objects_acquired += result.acquired_objects
+                    if spec.tag:
+                        stats.per_tag[spec.tag] = stats.per_tag.get(spec.tag, 0) + 1
+                if on_commit is not None:
+                    on_commit(node_id, spec, result)
+            else:
+                stats.aborted_txns += 1
+
+    for node_id in node_ids:
+        for thread in range(threads):
+            cluster.spawn_app(node_id, thread, worker(node_id, thread),
+                              name=f"wl{thread}")
+    cluster.run(until=stop_at)
+    return stats
+
+
+def run_baseline_workload(cluster: BaselineCluster, spec_fn: SpecFn,
+                          duration_us: float, warmup_us: float = 0.0,
+                          threads: Optional[int] = None,
+                          seed: int = 1) -> RunStats:
+    """Drive a baseline cluster closed-loop (coroutines per thread)."""
+    stats = RunStats()
+    sim = cluster.sim
+    threads = threads if threads is not None else cluster.params.app_threads
+    coroutines = cluster.profile.coroutines_per_thread
+    stop_at = sim.now + duration_us
+    measure_from = sim.now + warmup_us
+
+    def worker(node_id: int, thread: int, coro: int):
+        engine = cluster.engines[node_id]
+        cpu = cluster.nodes[node_id].app_cpus[thread]
+        rng = cluster.rng.stream(f"wl.{seed}.{node_id}.{thread}.{coro}")
+        txn_no = 0
+        while sim.now < stop_at:
+            spec = spec_fn(node_id, thread, rng)
+            if spec is None:
+                yield 5.0
+                continue
+            txn_no += 1
+            tag = (node_id * 10_000 + thread * 100 + coro, txn_no)
+            if spec.read_only:
+                result = yield from engine.execute_read(cpu, spec.read_set,
+                                                        spec.exec_us)
+            else:
+                result = yield from engine.execute_write(cpu, tag,
+                                                         spec.write_set,
+                                                         spec.read_set,
+                                                         spec.exec_us)
+            if result.committed and sim.now >= measure_from:
+                stats.committed += 1
+                stats.meter.record(sim.now)
+                stats.retries += result.aborts
+                if spec.tag:
+                    stats.per_tag[spec.tag] = stats.per_tag.get(spec.tag, 0) + 1
+            elif not result.committed:
+                stats.aborted_txns += 1
+
+    for node_id in range(len(cluster.nodes)):
+        for thread in range(threads):
+            for coro in range(coroutines):
+                cluster.spawn_app(node_id, worker(node_id, thread, coro),
+                                  name=f"wl{thread}.{coro}")
+    cluster.run(until=stop_at)
+    return stats

@@ -1,0 +1,46 @@
+"""Shared test fixtures: small clusters and catalogs."""
+
+import pytest
+
+from repro.harness.zeus_cluster import ZeusCluster
+from repro.sim.params import SimParams
+from repro.store.catalog import Catalog
+
+
+def make_catalog(num_nodes=3, objects=10, degree=3, size=64, spread=True):
+    catalog = Catalog(num_nodes, replication_degree=degree)
+    catalog.add_table("t", size)
+    for i in range(objects):
+        owner = i % num_nodes if spread else 0
+        catalog.create_object("t", i, owner=owner)
+    return catalog
+
+
+def make_cluster(num_nodes=3, objects=10, degree=3, size=64, spread=True,
+                 seed=0, fast_failover=False, **params_kw):
+    catalog = make_catalog(num_nodes, objects, degree, size, spread)
+    kw = dict(params_kw)
+    if fast_failover:
+        kw.setdefault("lease_us", 2_000.0)
+        kw.setdefault("heartbeat_us", 200.0)
+    params = SimParams().with_(**kw) if kw else SimParams()
+    cluster = ZeusCluster(num_nodes, params=params, catalog=catalog, seed=seed)
+    cluster.load(init_value=0)
+    return cluster
+
+
+def run_app(cluster, node_id, gen, until=500_000.0, thread=0):
+    """Spawn one app generator and run the simulator; returns the process."""
+    proc = cluster.spawn_app(node_id, thread, gen)
+    cluster.run(until=until)
+    return proc
+
+
+@pytest.fixture
+def cluster3():
+    return make_cluster(3)
+
+
+@pytest.fixture
+def cluster6():
+    return make_cluster(6, objects=20)

@@ -1,0 +1,161 @@
+"""Hermes replication and the locality-enforcing load balancer."""
+
+import pytest
+
+from repro.hermes.protocol import HermesReplica
+from repro.lb.balancer import LoadBalancer
+from tests.conftest import make_cluster
+
+
+def make_hermes(cluster, nodes=(0, 1, 2)):
+    return [HermesReplica(cluster.nodes[n], tuple(nodes)) for n in nodes]
+
+
+def test_hermes_write_replicates_everywhere():
+    cluster = make_cluster(3)
+    replicas = make_hermes(cluster)
+    replicas[0].write("k", "v1")
+    cluster.run(until=10_000)
+    assert all(r.read("k") == "v1" for r in replicas)
+
+
+def test_hermes_any_replica_coordinates():
+    cluster = make_cluster(3)
+    replicas = make_hermes(cluster)
+    replicas[2].write("k", "from-2")
+    cluster.run(until=10_000)
+    assert replicas[0].read("k") == "from-2"
+
+
+def test_hermes_read_returns_none_while_invalid():
+    cluster = make_cluster(3)
+    replicas = make_hermes(cluster)
+    replicas[0].write("k", "v")
+    # Before any events run, replica 0 has applied its own INV: invalid.
+    assert replicas[0].read("k") is None
+    cluster.run(until=10_000)
+    assert replicas[0].read("k") == "v"
+
+
+def test_hermes_concurrent_writes_converge():
+    cluster = make_cluster(3)
+    replicas = make_hermes(cluster)
+    replicas[0].write("k", "a")
+    replicas[1].write("k", "b")
+    cluster.run(until=50_000)
+    values = {r.read("k") for r in replicas}
+    assert len(values) == 1
+    assert values.pop() in ("a", "b")
+
+
+def test_hermes_timestamps_resolve_by_node_id():
+    cluster = make_cluster(3)
+    replicas = make_hermes(cluster)
+    # Same version number from two coordinators: higher node id wins.
+    replicas[0].write("k", "low")
+    replicas[2].write("k", "high")
+    cluster.run(until=50_000)
+    assert all(r.read("k") == "high" for r in replicas)
+
+
+def test_hermes_write_future_completes():
+    cluster = make_cluster(3)
+    replicas = make_hermes(cluster)
+    fut = replicas[0].write("k", 1)
+    cluster.run(until=10_000)
+    assert fut.done()
+
+
+def test_hermes_requires_member_node():
+    cluster = make_cluster(3)
+    with pytest.raises(ValueError):
+        HermesReplica(cluster.nodes[0], (1, 2))
+
+
+def test_hermes_survives_replica_crash():
+    cluster = make_cluster(3, fast_failover=True)
+    cluster.start_membership()
+    replicas = make_hermes(cluster)
+    cluster.crash(2, at=100.0)
+    cluster.run(until=60_000)
+    fut = replicas[0].write("k", "post-crash")
+    cluster.run(until=120_000)
+    assert fut.done()
+    assert replicas[1].read("k") == "post-crash"
+
+
+# ----------------------------------------------------------------- LB
+
+
+def make_lb(cluster):
+    return LoadBalancer(make_hermes(cluster), num_nodes=3)
+
+
+def test_lb_sticky_routing():
+    cluster = make_cluster(3)
+    lb = make_lb(cluster)
+    first = lb.route("user-1")
+    cluster.run(until=1_000)
+    for _ in range(5):
+        assert lb.route("user-1") == first
+
+
+def test_lb_spreads_keys():
+    cluster = make_cluster(3)
+    lb = make_lb(cluster)
+    destinations = {lb.route(f"key-{i}") for i in range(60)}
+    assert destinations == {0, 1, 2}
+
+
+def test_lb_repin_overrides():
+    cluster = make_cluster(3)
+    lb = make_lb(cluster)
+    lb.route("k")
+    lb.repin("k", 2)
+    cluster.run(until=1_000)
+    assert lb.route("k") == 2
+
+
+def test_lb_scale_in_moves_keys_off_inactive_nodes():
+    cluster = make_cluster(3)
+    lb = make_lb(cluster)
+    keys = [f"k{i}" for i in range(30)]
+    for k in keys:
+        lb.route(k)
+    cluster.run(until=1_000)
+    lb.set_active([0])
+    for k in keys:
+        assert lb.route(k) == 0
+
+
+def test_lb_requires_active_nodes():
+    cluster = make_cluster(3)
+    lb = make_lb(cluster)
+    with pytest.raises(ValueError):
+        lb.set_active([])
+
+
+def test_lb_in_path_route_request():
+    cluster = make_cluster(3)
+    lb = make_lb(cluster)
+    dests = []
+
+    def app():
+        d1 = yield from lb.route_request(0, "cookie")
+        d2 = yield from lb.route_request(1, "cookie")
+        dests.append((d1, d2))
+
+    cluster.spawn_app(0, 0, app())
+    cluster.run(until=10_000)
+    d1, d2 = dests[0]
+    assert d1 == d2  # sticky across ingress points
+
+
+def test_lb_hit_miss_counters():
+    cluster = make_cluster(3)
+    lb = make_lb(cluster)
+    lb.route("a")
+    cluster.run(until=1_000)
+    lb.route("a")
+    assert lb.counters["misses"] == 1
+    assert lb.counters["hits"] == 1

@@ -1,0 +1,150 @@
+"""End-to-end scenarios spanning every subsystem."""
+
+import pytest
+
+from repro.store.meta import TState
+from repro.verify.invariants import check_invariants, check_quiescent
+from tests.conftest import make_cluster
+from repro.workloads import (
+    SmallbankWorkload,
+    TatpWorkload,
+    run_zeus_workload,
+)
+from repro.harness.zeus_cluster import ZeusCluster
+from repro.sim.params import FaultParams, SimParams
+
+
+def test_smallbank_money_conservation():
+    """Transfers between accounts conserve the total balance."""
+    wl = SmallbankWorkload(3, accounts_per_node=200, remote_frac=0.05)
+    params = SimParams().scaled_threads(app=2, worker=2)
+    cluster = ZeusCluster(3, params=params, catalog=wl.catalog)
+    cluster.load(init_value=100)
+
+    transferred = []
+
+    def transfer(api, frm, to):
+        txn = api.tr_create(0)
+        a = yield from txn.open_write(frm)
+        b = yield from txn.open_write(to)
+        txn.write(frm, a - 10)
+        txn.write(to, b + 10)
+        yield from txn.commit()
+        transferred.append((frm, to))
+
+    api0 = cluster.handles[0].api
+    rng = cluster.rng.stream("transfers")
+    oids = wl.checking[:60]
+
+    def driver():
+        for _ in range(40):
+            frm, to = rng.sample(oids, 2)
+            yield from transfer(api0, frm, to)
+
+    cluster.spawn_app(0, 0, driver())
+    cluster.run(until=2_000_000)
+    assert len(transferred) == 40
+    # Sum over authoritative (owner) copies.
+    total = 0
+    for oid in oids:
+        owner = cluster.owner_of(oid)
+        total += cluster.handles[owner].api.peek(oid)
+    assert total == 100 * len(oids)
+    check_invariants(cluster)
+
+
+def test_mixed_workload_with_faulty_network():
+    """A lossy, reordering, duplicating network changes nothing observable."""
+    wl = TatpWorkload(3, subscribers_per_node=200, remote_frac=0.05)
+    params = SimParams(
+        faults=FaultParams(loss_prob=0.01, duplicate_prob=0.01,
+                           reorder_max_us=4.0),
+    ).scaled_threads(app=2, worker=2)
+    cluster = ZeusCluster(3, params=params, catalog=wl.catalog)
+    cluster.load(init_value=0)
+    stats = run_zeus_workload(cluster, wl.spec_for, duration_us=5_000.0,
+                              threads=2)
+    assert stats.committed > 1_000
+    cluster.run(until=2_000_000)  # drain retransmissions
+    check_invariants(cluster)
+    assert check_quiescent(cluster) == []
+
+
+def test_node_crash_mid_workload_recovers_and_continues():
+    wl = SmallbankWorkload(4, accounts_per_node=150, remote_frac=0.05)
+    params = SimParams(lease_us=2_000.0, heartbeat_us=200.0).scaled_threads(
+        app=2, worker=2)
+    cluster = ZeusCluster(4, params=params, catalog=wl.catalog)
+    cluster.load(init_value=100)
+    cluster.start_membership()
+    cluster.crash(3, at=2_000.0)
+    stats = run_zeus_workload(cluster, wl.spec_for, duration_us=60_000.0,
+                              threads=2)
+    assert stats.committed > 5_000
+    assert cluster.nodes[0].epoch == 2
+    cluster.run(until=10_000_000)
+    check_invariants(cluster)
+
+
+def test_ownership_migration_then_read_anywhere():
+    """Write at one node, migrate to another, read consistently at a third."""
+    cluster = make_cluster(3)
+    oid = 0
+    seen = []
+
+    def writer():
+        api = cluster.handles[0].api
+        yield from api.execute_write(0, [oid], compute=lambda _o, _v: "v1")
+
+    def migrator():
+        yield 1_000.0
+        api = cluster.handles[1].api
+        yield from api.execute_write(0, [oid],
+                                     compute=lambda _o, _v: "v2")
+
+    def reader():
+        yield 2_000.0
+        api = cluster.handles[2].api
+        txn = api.tr_r_create(0)
+        value = yield from txn.open_read(oid)
+        yield from txn.commit()
+        seen.append(value)
+
+    cluster.spawn_app(0, 0, writer())
+    cluster.spawn_app(1, 0, migrator())
+    cluster.spawn_app(2, 0, reader())
+    cluster.run(until=1_000_000)
+    assert seen == ["v2"]
+    assert cluster.owner_of(oid) == 1
+
+
+def test_sustained_pipelines_stay_bounded():
+    """Long pipelined runs do not leak pending slots or invalid objects."""
+    cluster = make_cluster(3, objects=12, spread=False)
+    api = cluster.handles[0].api
+
+    def hammer():
+        for i in range(300):
+            yield from api.execute_write(0, [i % 12])
+
+    cluster.spawn_app(0, 0, hammer())
+    cluster.run(until=5_000_000)
+    cm = cluster.handles[0].commit
+    assert cm.counters["committed"] == 300
+    assert all(not pipe.slots for pipe in cm._coord.values())
+    for h in cluster.handles:
+        for obj in h.store:
+            assert obj.t_state == TState.VALID
+
+
+def test_six_node_cluster_full_stack():
+    wl = TatpWorkload(6, subscribers_per_node=100, remote_frac=0.1)
+    params = SimParams().scaled_threads(app=2, worker=2)
+    cluster = ZeusCluster(6, params=params, catalog=wl.catalog)
+    cluster.load(init_value=0)
+    stats = run_zeus_workload(cluster, wl.spec_for, duration_us=5_000.0,
+                              threads=2)
+    assert stats.committed > 2_000
+    assert stats.objects_acquired > 0  # migrations happened
+    cluster.run(until=2_000_000)
+    check_invariants(cluster)

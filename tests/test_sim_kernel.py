@@ -1,0 +1,155 @@
+"""Simulation kernel: scheduling, ordering, cancellation, clock."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_call_after_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.call_after(10.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [10.0]
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.call_after(30.0, seen.append, "c")
+    sim.call_after(10.0, seen.append, "a")
+    sim.call_after(20.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    seen = []
+    for tag in "abcde":
+        sim.call_after(5.0, seen.append, tag)
+    sim.run()
+    assert seen == list("abcde")
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    seen = []
+    sim.call_after(7.0, lambda: sim.call_soon(lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [7.0]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.call_after(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().call_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    handle = sim.call_after(10.0, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.call_after(10.0, seen.append, "early")
+    sim.call_after(100.0, seen.append, "late")
+    sim.run(until=50.0)
+    assert seen == ["early"]
+    assert sim.now == 50.0  # clock advanced exactly to the bound
+
+
+def test_run_until_resumes_where_left_off():
+    sim = Simulator()
+    seen = []
+    sim.call_after(10.0, seen.append, "a")
+    sim.call_after(60.0, seen.append, "b")
+    sim.run(until=50.0)
+    sim.run(until=100.0)
+    assert seen == ["a", "b"]
+
+
+def test_run_max_events_budget():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.call_after(float(i + 1), seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.call_after(1.0, lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    seen = []
+    sim.call_after(1.0, seen.append, "a")
+    sim.call_after(2.0, seen.append, "b")
+    assert sim.step() is True
+    assert seen == ["a"]
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    h1 = sim.call_after(1.0, lambda: None)
+    sim.call_after(2.0, lambda: None)
+    h1.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_peek_time_empty():
+    assert Simulator().peek_time() is None
+
+
+def test_nested_scheduling_during_run():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append(("outer", sim.now))
+        sim.call_after(5.0, inner)
+
+    def inner():
+        seen.append(("inner", sim.now))
+
+    sim.call_after(10.0, outer)
+    sim.run()
+    assert seen == [("outer", 10.0), ("inner", 15.0)]
+
+
+def test_exception_in_handler_propagates():
+    sim = Simulator()
+
+    def boom():
+        raise ValueError("boom")
+
+    sim.call_after(1.0, boom)
+    with pytest.raises(ValueError):
+        sim.run()
