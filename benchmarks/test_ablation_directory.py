@@ -13,7 +13,6 @@ directory against rendezvous-hashed per-object directory triplets.
 from repro.harness.tables import format_table, save_result
 from repro.harness.zeus_cluster import ZeusCluster
 from repro.sim.params import SimParams
-from repro.store.catalog import Catalog
 from repro.workloads import TatpWorkload, run_zeus_workload
 
 DURATION_US = 6_000.0

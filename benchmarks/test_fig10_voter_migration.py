@@ -16,7 +16,6 @@ from repro.harness.tables import ascii_series, format_table, save_result
 from repro.harness.zeus_cluster import ZeusCluster
 from repro.sim.params import SimParams
 from repro.workloads import VoterWorkload, migrate_objects
-from repro.workloads.base import run_zeus_workload
 
 VOTERS = 12_000
 MOVER_THREADS = 4

@@ -12,7 +12,7 @@ dictionary work, and the client generator blocks for the full round trip.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from ..cluster.node import Node
 from ..net.message import Message

@@ -17,7 +17,7 @@ optimistic commit faithful to FaRM/FaSST's OCC structure.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.node import Node
 from ..net.message import Message, NodeId
@@ -70,13 +70,11 @@ class BaselineEngine:
         self._records: Dict[ObjectId, _Record] = {}
         self._next_rpc = 0
         self._pending: Dict[int, Future] = {}
-        self.counters: Dict[str, int] = {}
+        self.counters = node.obs.registry.group("baseline",
+                                                node=node.node_id)
 
         node.register_handler(KIND_RPC, self._on_rpc, cost=self._rpc_cost)
         node.register_handler(KIND_REPLY, self._on_reply)
-
-    def _count(self, key: str, n: int = 1) -> None:
-        self.counters[key] = self.counters.get(key, 0) + n
 
     # ------------------------------------------------------------- storage
 
@@ -208,12 +206,12 @@ class BaselineEngine:
                 result.committed = True
                 break
             result.aborts += 1
-            self._count("aborts")
+            self.counters.inc("aborts")
             yield backoff * (0.5 + self.rng.random())
             backoff = min(backoff * 2, p.own_backoff_max_us)
         result.latency_us = self.sim.now - start
         if result.committed:
-            self._count("committed")
+            self.counters.inc("committed")
         return result
 
     def _commit_phase(self, cpu: CpuServer, txn_tag, write_set, read_set,
@@ -363,7 +361,7 @@ class BaselineEngine:
                     ok = all(replies)
             if ok:
                 result.committed = True
-                self._count("committed_ro")
+                self.counters.inc("committed_ro")
                 break
             result.aborts += 1
             yield backoff * (0.5 + self.rng.random())

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..net.message import Message, NodeId
 from ..net.network import Network
+from ..obs import Observability
 from ..sim.kernel import Simulator
 from ..sim.params import SimParams
 from ..sim.process import Process
@@ -35,11 +36,13 @@ class Node:
     """One server: transport endpoint + worker pool + app threads."""
 
     def __init__(self, sim: Simulator, node_id: NodeId, params: SimParams,
-                 network: Network):
+                 network: Network, obs: Optional[Observability] = None):
         self.sim = sim
         self.node_id = node_id
         self.params = params
         self.network = network
+        #: Observability context, shared cluster-wide via the network.
+        self.obs = obs if obs is not None else network.obs
         self.pool = CpuPool(sim, params.worker_threads, name=f"n{node_id}.pool")
         self.app_cpus: List[CpuServer] = [
             CpuServer(sim, name=f"n{node_id}.app{i}") for i in range(params.app_threads)
@@ -55,7 +58,8 @@ class Node:
         self.live_nodes: frozenset = frozenset()
         self._processes: List[Process] = []
         self._view_listeners: List[Callable[[int, frozenset], None]] = []
-        self.counters: Dict[str, int] = {}
+        #: Registry-backed counter view (``node.*`` metrics, labeled by id).
+        self.counters = self.obs.registry.group("node", node=node_id)
 
     # ------------------------------------------------------------ plumbing
 
@@ -128,4 +132,4 @@ class Node:
             fn(epoch, live)
 
     def count(self, key: str, n: int = 1) -> None:
-        self.counters[key] = self.counters.get(key, 0) + n
+        self.counters.inc(key, n)

@@ -27,10 +27,11 @@ which lifts the per-epoch barrier.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..cluster.node import Node
 from ..net.message import Message, NodeId
+from ..obs import TID_REPLICATION
 from ..sim.process import Event, Future
 from ..store.catalog import Catalog, ObjectId
 from ..store.meta import TState
@@ -55,7 +56,8 @@ _ACK_FLUSH_DELAY_US = 2.0
 class _Slot:
     """Coordinator-side state of one pending reliable commit."""
 
-    __slots__ = ("inv", "needed", "acked", "extras", "future", "submitted_at")
+    __slots__ = ("inv", "needed", "acked", "extras", "future", "submitted_at",
+                 "span")
 
     def __init__(self, inv: RInv, submitted_at: float):
         self.inv = inv
@@ -66,6 +68,8 @@ class _Slot:
         self.extras: Set[NodeId] = set()
         self.future: Optional[Future] = None
         self.submitted_at = submitted_at
+        #: Open ``commit_replicate`` tracer span (None when tracing is off).
+        self.span = None
 
 
 class _CoordPipeline:
@@ -122,16 +126,22 @@ class CommitManager:
         self._replays: Dict[Tuple[PipelineId, int], Set[NodeId]] = {}
         self._recovering_epoch: Optional[int] = None
 
-        self.commit_latencies_us: List[float] = []
-        self.counters: Dict[str, int] = {}
+        obs = node.obs
+        self.tracer = obs.tracer
+        #: Registry-backed counter view (``commit.*``, labeled by node).
+        self.counters = obs.registry.group("commit", node=self.node_id)
+        self._latency = obs.registry.histogram("commit.latency_us",
+                                               node=self.node_id)
 
         node.register_handler(KIND_RINV, self._on_rinv, cost=self._rinv_cost)
         node.register_handler(KIND_RACK, self._on_rack)
         node.register_handler(KIND_RVAL, self._on_rval)
         node.add_view_listener(self._on_view_change)
 
-    def _count(self, key: str, n: int = 1) -> None:
-        self.counters[key] = self.counters.get(key, 0) + n
+    @property
+    def commit_latencies_us(self) -> List[float]:
+        """Submit→validated latency samples (registry histogram view)."""
+        return self._latency.samples
 
     def _rinv_cost(self, payload: RInv) -> float:
         p = self.params
@@ -180,7 +190,15 @@ class CommitManager:
         pipe.slots[slot_no] = slot
         for oid, _ver, _data, _size in updates:
             self._pending_by_oid[oid] = self._pending_by_oid.get(oid, 0) + 1
-        self._count("submitted")
+        self.counters.inc("submitted")
+        tracer = self.tracer
+        if tracer:
+            # RInv broadcast starts here; the span closes when all RACKs
+            # are in and the slot validates (RVAL broadcast).
+            slot.span = tracer.begin("commit_replicate", pid=self.node_id,
+                                     tid=TID_REPLICATION + thread,
+                                     cat="commit", slot=slot_no,
+                                     followers=len(follower_set))
 
         if not prev_done and slot_no > 0:
             prev_slot = pipe.slots.get(slot_no - 1)
@@ -240,8 +258,10 @@ class CommitManager:
             recipients = set(slot.inv.followers) | slot.extras
             for f in recipients:
                 self._queue_val(f, pipeline_id, nxt, cumulative=True)
-            self.commit_latencies_us.append(self.sim.now - slot.submitted_at)
-            self._count("committed")
+            self._latency.record(self.sim.now - slot.submitted_at)
+            self.counters.inc("committed")
+            if slot.span is not None:
+                self.tracer.end(slot.span, acked=len(slot.acked))
             if slot.future is not None and not slot.future.done():
                 slot.future.set_result(None)
             if pipe.room is not None and len(pipe.slots) < self.max_pipeline_depth:
@@ -333,7 +353,13 @@ class CommitManager:
             records.append((oid, version))
         fpipe.applied[inv.slot] = (inv, records)
         fpipe.settled = max(fpipe.settled, inv.slot)
-        self._count("applied")
+        self.counters.inc("applied")
+        tracer = self.tracer
+        if tracer:
+            tracer.instant("commit.apply", pid=self.node_id,
+                           tid=TID_REPLICATION, cat="commit",
+                           pipeline=list(inv.pipeline), slot=inv.slot,
+                           updates=len(inv.updates))
         self._send_rack(ack_to if ack_to is not None else inv.pipeline[0], inv)
 
     def _send_rack(self, to: NodeId, inv: RInv) -> None:
@@ -360,6 +386,10 @@ class CommitManager:
         val: RVal = msg.payload
         if val.epoch != self.node.epoch:
             return
+        if self.tracer:
+            self.tracer.instant("commit.val", pid=self.node_id,
+                                tid=TID_REPLICATION, cat="commit",
+                                entries=len(val.entries))
         for pipeline, slot, cumulative in val.entries:
             fpipe = self._follow.get(pipeline)
             if fpipe is None:
@@ -415,7 +445,7 @@ class CommitManager:
         key = (pipeline, slot_no)
         if key in self._replays:
             return
-        self._count("commit_replay")
+        self.counters.inc("commit_replay")
         if not others:
             # We are the only live follower: validate immediately.
             self._finish_replay(key, pipeline, slot_no)

@@ -3,116 +3,14 @@
 All of the paper's figures are either throughput-vs-parameter curves,
 throughput-vs-time timelines (Figures 10, 11, 15), or a latency CDF
 (Figure 12); these helpers produce exactly those series.
+
+The implementations live in :mod:`repro.obs` — ``ThroughputMeter`` and
+``LatencyRecorder`` are registry-backed instruments there — and are
+re-exported here so every existing figure script and test keeps importing
+from ``repro.harness.metrics``.
 """
 
-from __future__ import annotations
-
-import math
-from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from ..obs.registry import LatencyRecorder, ThroughputMeter
+from ..obs.stats import cdf_points, percentile
 
 __all__ = ["ThroughputMeter", "LatencyRecorder", "percentile", "cdf_points"]
-
-
-def percentile(samples: Sequence[float], p: float) -> float:
-    """The ``p``-th percentile (0..100) by linear interpolation."""
-    if not samples:
-        raise ValueError("no samples")
-    if not 0 <= p <= 100:
-        raise ValueError(f"percentile {p} out of range")
-    ordered = sorted(samples)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (p / 100) * (len(ordered) - 1)
-    lo = int(math.floor(rank))
-    hi = int(math.ceil(rank))
-    if lo == hi:
-        return ordered[lo]
-    frac = rank - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
-
-
-def cdf_points(samples: Sequence[float],
-               points: int = 100) -> List[Tuple[float, float]]:
-    """(value, cumulative fraction) pairs for plotting a CDF."""
-    if not samples:
-        return []
-    ordered = sorted(samples)
-    n = len(ordered)
-    out = []
-    for i in range(points + 1):
-        frac = i / points
-        idx = min(n - 1, int(frac * (n - 1)))
-        out.append((ordered[idx], frac))
-    return out
-
-
-class ThroughputMeter:
-    """Counts events into fixed time bins; yields a tps timeline."""
-
-    def __init__(self, bin_us: float = 100_000.0):
-        self.bin_us = bin_us
-        self.bins: Dict[int, int] = {}
-        self.total = 0
-        self.first_us: Optional[float] = None
-        self.last_us: Optional[float] = None
-
-    def record(self, now_us: float, n: int = 1) -> None:
-        idx = int(now_us // self.bin_us)
-        self.bins[idx] = self.bins.get(idx, 0) + n
-        self.total += n
-        if self.first_us is None:
-            self.first_us = now_us
-        self.last_us = now_us
-
-    def timeline(self) -> List[Tuple[float, float]]:
-        """(bin start time in seconds, throughput in tps) pairs."""
-        if not self.bins:
-            return []
-        out = []
-        for idx in range(min(self.bins), max(self.bins) + 1):
-            count = self.bins.get(idx, 0)
-            tps = count / (self.bin_us / 1e6)
-            out.append((idx * self.bin_us / 1e6, tps))
-        return out
-
-    def rate_tps(self, elapsed_us: float) -> float:
-        """Mean throughput over ``elapsed_us`` of simulated time."""
-        if elapsed_us <= 0:
-            return 0.0
-        return self.total / (elapsed_us / 1e6)
-
-
-class LatencyRecorder:
-    """Collects latency samples; summarizes mean/percentiles."""
-
-    def __init__(self) -> None:
-        self.samples: List[float] = []
-
-    def record(self, latency_us: float) -> None:
-        self.samples.append(latency_us)
-
-    def extend(self, samples: Iterable[float]) -> None:
-        self.samples.extend(samples)
-
-    @property
-    def count(self) -> int:
-        return len(self.samples)
-
-    def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else 0.0
-
-    def p(self, pct: float) -> float:
-        return percentile(self.samples, pct)
-
-    def summary(self) -> Dict[str, float]:
-        if not self.samples:
-            return {"count": 0}
-        return {
-            "count": len(self.samples),
-            "mean_us": self.mean(),
-            "p50_us": self.p(50),
-            "p99_us": self.p(99),
-            "p999_us": self.p(99.9),
-            "max_us": max(self.samples),
-        }

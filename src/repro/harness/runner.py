@@ -7,6 +7,7 @@ to explore the system:
 * ``python -m repro verify [--seeds N]``    — model checkers + explorer
 * ``python -m repro locality``              — the §8 locality analyses
 * ``python -m repro smallbank [--remote F]``— one Zeus-vs-baseline point
+* ``python -m repro trace [--out F]``       — capture a Chrome trace
 * ``python -m repro list``                  — the benchmark catalog
 """
 
@@ -91,12 +92,23 @@ def _cmd_smallbank(args) -> int:
     duration = 6_000.0
     params = SimParams().scaled_threads(app=4, worker=4)
 
+    from ..obs import Observability, Tracer, write_chrome_trace, write_metrics
+
+    obs = Observability(tracer=Tracer() if args.trace else None)
     wl = SmallbankWorkload(args.nodes, accounts_per_node=1_500,
                            remote_frac=args.remote)
-    zeus = ZeusCluster(args.nodes, params=params, catalog=wl.catalog)
+    zeus = ZeusCluster(args.nodes, params=params, catalog=wl.catalog,
+                       obs=obs)
     zeus.load(init_value=1_000)
     zstats = run_zeus_workload(zeus, wl.spec_for, duration_us=duration,
                                threads=4)
+    if args.trace:
+        write_chrome_trace(obs.tracer, args.trace)
+        print(f"wrote Chrome trace: {args.trace} "
+              f"({len(obs.tracer.spans)} spans)")
+    if args.metrics_out:
+        write_metrics(obs.registry, args.metrics_out)
+        print(f"wrote metrics snapshot: {args.metrics_out}")
 
     wl_b = SmallbankWorkload(args.nodes, accounts_per_node=1_500,
                              remote_frac=args.remote, track_migration=False)
@@ -113,6 +125,47 @@ def _cmd_smallbank(args) -> int:
           f"({zstats.ownership_requests} ownership requests)")
     print(f"  FaSST-like  : {btps/1e6:.2f} Mtps")
     print(f"  ratio       : {ztps/btps:.2f}x")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run a short SmallBank mix with tracing on; dump trace + reports."""
+    from ..obs import (
+        Observability,
+        Tracer,
+        phase_report,
+        write_chrome_trace,
+        write_metrics,
+        write_trace_jsonl,
+    )
+    from ..sim.params import SimParams
+    from ..workloads import SmallbankWorkload, run_zeus_workload
+    from .zeus_cluster import ZeusCluster
+
+    params = SimParams().scaled_threads(app=2, worker=2)
+    obs = Observability(tracer=Tracer())
+    wl = SmallbankWorkload(args.nodes, accounts_per_node=200,
+                           remote_frac=args.remote)
+    cluster = ZeusCluster(args.nodes, params=params, catalog=wl.catalog,
+                          seed=args.seed, obs=obs)
+    cluster.load(init_value=1_000)
+    stats = run_zeus_workload(cluster, wl.spec_for,
+                              duration_us=args.duration, threads=2,
+                              seed=args.seed)
+
+    write_chrome_trace(obs.tracer, args.out)
+    print(f"ran {stats.committed} txns over {args.duration:.0f} us "
+          f"({args.nodes} nodes, seed {args.seed})")
+    print(f"wrote Chrome trace: {args.out} ({len(obs.tracer.spans)} spans)"
+          f" — open in chrome://tracing or https://ui.perfetto.dev")
+    if args.jsonl:
+        write_trace_jsonl(obs.tracer, args.jsonl)
+        print(f"wrote span JSONL : {args.jsonl}")
+    if args.metrics_out:
+        write_metrics(obs.registry, args.metrics_out)
+        print(f"wrote metrics    : {args.metrics_out}")
+    print()
+    print(phase_report(obs.tracer))
     return 0
 
 
@@ -160,6 +213,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_small = sub.add_parser("smallbank", help="one Zeus-vs-FaSST point")
     p_small.add_argument("--nodes", type=int, default=3)
     p_small.add_argument("--remote", type=float, default=0.01)
+    p_small.add_argument("--trace", metavar="FILE", default=None,
+                         help="capture a Chrome trace of the Zeus run")
+    p_small.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="dump the metrics registry snapshot as JSON")
+
+    p_trace = sub.add_parser(
+        "trace", help="capture a Chrome trace of a short SmallBank mix")
+    p_trace.add_argument("--out", metavar="FILE", default="trace.json",
+                         help="Chrome trace-event output (default %(default)s)")
+    p_trace.add_argument("--jsonl", metavar="FILE", default=None,
+                         help="also dump raw spans as JSON lines")
+    p_trace.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="dump the metrics registry snapshot as JSON")
+    p_trace.add_argument("--nodes", type=int, default=3)
+    p_trace.add_argument("--remote", type=float, default=0.2,
+                         help="remote-write fraction (default %(default)s)")
+    p_trace.add_argument("--duration", type=float, default=5_000.0,
+                         help="simulated run length in us")
+    p_trace.add_argument("--seed", type=int, default=1)
 
     sub.add_parser("list", help="experiment catalog")
 
@@ -169,6 +241,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _cmd_verify,
         "locality": _cmd_locality,
         "smallbank": _cmd_smallbank,
+        "trace": _cmd_trace,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

@@ -13,7 +13,7 @@ This is the entry point almost every example, test, and benchmark uses::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from ..cluster.failure import FailureInjector
 from ..cluster.membership import MembershipService
@@ -21,6 +21,7 @@ from ..cluster.node import Node
 from ..commit.manager import CommitManager
 from ..net.fault import FaultInjector
 from ..net.network import Network
+from ..obs import Observability
 from ..ownership.manager import OwnershipManager
 from ..sim.kernel import Simulator
 from ..sim.params import SimParams
@@ -62,7 +63,8 @@ class ZeusCluster:
                  params: Optional[SimParams] = None,
                  catalog: Optional[Catalog] = None,
                  seed: int = 0,
-                 max_pipeline_depth: int = 32):
+                 max_pipeline_depth: int = 32,
+                 obs: Optional[Observability] = None):
         self.params = params or SimParams()
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
@@ -70,14 +72,22 @@ class ZeusCluster:
         if self.catalog.num_nodes != num_nodes:
             raise ValueError("catalog was built for a different cluster size")
 
+        self.obs = obs if obs is not None else Observability()
+        if self.obs.tracer and getattr(self.obs.tracer, "sim", None) is None:
+            # Tracers are built before any Simulator exists; bind here so
+            # spans are stamped with this cluster's simulated clock.
+            self.obs.tracer.sim = self.sim
+        self._install_stats_hook()
+
         faults = FaultInjector(self.params.faults, self.rng.stream("net.faults"))
         self.network = Network(self.sim, self.params.net, faults,
-                               jitter_rng=self.rng.stream("net.jitter"))
+                               jitter_rng=self.rng.stream("net.jitter"),
+                               obs=self.obs)
         self.faults = faults
 
         self.handles: List[ZeusHandle] = []
         for nid in range(num_nodes):
-            node = Node(self.sim, nid, self.params, self.network)
+            node = Node(self.sim, nid, self.params, self.network, obs=self.obs)
             store = ObjectStore(nid)
             directory = (DirectoryTable(nid)
                          if self.catalog.hosts_directory(nid) else None)
@@ -95,6 +105,21 @@ class ZeusCluster:
         self.membership = MembershipService(self.sim, self.params, self.nodes)
         self.failures = FailureInjector(self.sim)
         self._loaded = False
+
+    def _install_stats_hook(self) -> None:
+        """Mirror event-loop health into registry gauges as the sim runs."""
+        registry = self.obs.registry
+        g_now = registry.gauge("sim.now_us")
+        g_exec = registry.gauge("sim.events_executed")
+        g_pend = registry.gauge("sim.pending_events")
+
+        def on_stats(stats: Dict[str, float]) -> None:
+            g_now.set(stats["now_us"])
+            g_exec.set(stats["events_executed"])
+            g_pend.set(stats["pending_events"])
+
+        self._on_stats = on_stats
+        self.sim.set_stats_hook(on_stats, every_events=20_000)
 
     # ------------------------------------------------------------ data load
 
@@ -129,6 +154,7 @@ class ZeusCluster:
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
         self.sim.run(until=until, max_events=max_events)
+        self._on_stats(self.sim.stats())  # exact end-of-run gauge values
 
     def crash(self, node_id: int, at: Optional[float] = None) -> None:
         node = self.nodes[node_id]

@@ -16,7 +16,7 @@ rest of the system uses.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from ..cluster.node import Node
 from ..net.message import Message, NodeId
@@ -45,7 +45,7 @@ class _Entry:
 
 
 class _WriteCtx:
-    __slots__ = ("key", "ts", "value", "acks", "future")
+    __slots__ = ("key", "ts", "value", "acks", "future", "span")
 
     def __init__(self, key: HermesKey, ts: Tuple[int, int], value: Any,
                  future: Future):
@@ -54,6 +54,7 @@ class _WriteCtx:
         self.value = value
         self.acks: Set[NodeId] = set()
         self.future = future
+        self.span = None
 
 
 class HermesReplica:
@@ -74,14 +75,12 @@ class HermesReplica:
         self.value_size = value_size
         self._table: Dict[HermesKey, _Entry] = {}
         self._writes: Dict[Tuple[HermesKey, Tuple[int, int]], _WriteCtx] = {}
-        self.counters: Dict[str, int] = {}
+        self.tracer = node.obs.tracer
+        self.counters = node.obs.registry.group("hermes", node=node.node_id)
 
         node.register_handler(KIND_HINV, self._on_inv, cost=0.15)
         node.register_handler(KIND_HACK, self._on_ack)
         node.register_handler(KIND_HVAL, self._on_val)
-
-    def _count(self, key: str) -> None:
-        self.counters[key] = self.counters.get(key, 0) + 1
 
     # ------------------------------------------------------------------ API
 
@@ -105,7 +104,11 @@ class HermesReplica:
         future = Future(self.sim)
         ctx = _WriteCtx(key, ts, value, future)
         self._writes[(key, ts)] = ctx
-        self._count("writes")
+        self.counters.inc("writes")
+        if self.tracer:
+            ctx.span = self.tracer.begin("hermes_write", pid=self.node_id,
+                                         cat="hermes", key=repr(key),
+                                         ts=list(ts))
         self._apply_inv(key, ts, value)
         live = self.node.live_nodes or frozenset(self.replica_ids)
         peers = [r for r in self.replica_ids if r != self.node_id and r in live]
@@ -157,6 +160,10 @@ class HermesReplica:
 
     def _finish_write(self, ctx: _WriteCtx) -> None:
         self._writes.pop((ctx.key, ctx.ts), None)
+        self.counters.inc("validated")
+        if ctx.span is not None:
+            self.tracer.end(ctx.span, acks=len(ctx.acks))
+            ctx.span = None
         entry = self._table.get(ctx.key)
         if entry is not None and entry.ts == ctx.ts:
             entry.state = _VALID

@@ -26,7 +26,7 @@ locality shifts and how operators spread load (the Voter experiments).
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from ..hermes.protocol import HermesReplica
 from ..net.message import NodeId
@@ -52,7 +52,10 @@ class LoadBalancer:
         self.placement = placement or (lambda key: self.rng.randrange(self.num_nodes))
         #: Nodes currently accepting new keys (scale-in/out experiments).
         self.active_nodes: List[NodeId] = list(range(num_nodes))
-        self.counters: Dict[str, int] = {"hits": 0, "misses": 0}
+        registry = replicas[0].node.obs.registry
+        self.counters = registry.group("lb")
+        self.counters.inc("hits", 0)
+        self.counters.inc("misses", 0)
 
     # ------------------------------------------------------------ table mode
 
@@ -65,9 +68,9 @@ class LoadBalancer:
         replica = self.replicas[0]
         dest = replica.read(key)
         if dest is not None and dest in self.active_nodes:
-            self.counters["hits"] += 1
+            self.counters.inc("hits")
             return dest
-        self.counters["misses"] += 1
+        self.counters.inc("misses")
         dest = self.placement(key)
         if dest not in self.active_nodes:
             dest = self.rng.choice(self.active_nodes)
@@ -95,9 +98,9 @@ class LoadBalancer:
         yield 0.3  # key extraction + table lookup CPU
         dest = replica.read(key)
         if dest is not None and dest in self.active_nodes:
-            self.counters["hits"] += 1
+            self.counters.inc("hits")
             return dest
-        self.counters["misses"] += 1
+        self.counters.inc("misses")
         dest = self.placement(key)
         if dest not in self.active_nodes:
             dest = self.rng.choice(self.active_nodes)

@@ -10,6 +10,11 @@ Latency model per message::
 Per-(src, dst) and aggregate byte counters support the paper's bandwidth
 claims.  A :class:`FaultInjector` can drop/duplicate/delay messages; a
 *partition* set can sever pairs entirely (used by failure tests).
+
+Observability: every fate a message can meet — sent, delivered, dropped by
+the injector / a partition / a down endpoint, duplicated, delayed — is
+counted in the cluster's :class:`~repro.obs.MetricsRegistry` under
+``net.*``, and emitted as wire-level trace events when a tracer is enabled.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Dict, Optional, Set, Tuple
 
+from ..obs import Observability, TID_NET
 from ..sim.kernel import Simulator
 from ..sim.params import NetParams
 from .fault import FaultInjector
@@ -32,11 +38,12 @@ class Network:
 
     def __init__(self, sim: Simulator, params: NetParams,
                  fault_injector: Optional[FaultInjector] = None,
-                 jitter_rng=None):
+                 jitter_rng=None, obs: Optional[Observability] = None):
         self.sim = sim
         self.params = params
         self.faults = fault_injector
         self._jitter_rng = jitter_rng
+        self.obs = obs if obs is not None else Observability()
         self._endpoints: Dict[NodeId, DeliverFn] = {}
         self._down: Set[NodeId] = set()
         self._partitioned: Set[Tuple[NodeId, NodeId]] = set()
@@ -45,6 +52,14 @@ class Network:
         self.msgs_sent: Dict[Tuple[NodeId, NodeId], int] = defaultdict(int)
         self.total_bytes = 0
         self.total_msgs = 0
+        registry = self.obs.registry
+        self._c_sent = registry.counter("net.sent")
+        self._c_delivered = registry.counter("net.delivered")
+        self._c_dropped_fault = registry.counter("net.dropped")
+        self._c_dropped_partition = registry.counter("net.dropped_partition")
+        self._c_dropped_down = registry.counter("net.dropped_down")
+        self._c_duplicated = registry.counter("net.duplicated")
+        self._c_delayed = registry.counter("net.delayed")
 
     # ----------------------------------------------------------- topology
 
@@ -84,25 +99,45 @@ class Network:
         latency.  Sending from/to a down node or across a partition
         silently drops — exactly what crash-stop + lossy links look like to
         the layers above."""
+        tracer = self.obs.tracer
         if msg.src in self._down or msg.dst in self._down:
+            self._c_dropped_down.inc()
             return
         if (msg.src, msg.dst) in self._partitioned:
+            self._c_dropped_partition.inc()
+            if tracer:
+                tracer.instant("net.drop", pid=msg.src, tid=TID_NET,
+                               cat="net", dst=msg.dst, kind=msg.kind,
+                               why="partition")
             return
         wire_bytes = self.params.header_bytes + msg.size_bytes
         self.bytes_sent[(msg.src, msg.dst)] += wire_bytes
         self.msgs_sent[(msg.src, msg.dst)] += 1
         self.total_bytes += wire_bytes
         self.total_msgs += 1
+        self._c_sent.inc()
 
         copies = 1
         extra_delay = 0.0
         if self.faults is not None and self.faults.active:
             decision = self.faults.decide()
             if decision.drop:
+                self._c_dropped_fault.inc()
+                if tracer:
+                    tracer.instant("net.drop", pid=msg.src, tid=TID_NET,
+                                   cat="net", dst=msg.dst, kind=msg.kind,
+                                   why="loss")
                 return
+            if decision.duplicates:
+                self._c_duplicated.inc(decision.duplicates)
+            if decision.extra_delay_us > 0:
+                self._c_delayed.inc()
             copies += decision.duplicates
             extra_delay = decision.extra_delay_us
 
+        if tracer:
+            tracer.instant("net.send", pid=msg.src, tid=TID_NET, cat="net",
+                           dst=msg.dst, kind=msg.kind, size=msg.size_bytes)
         base = self.latency(msg.size_bytes) + extra_delay
         for i in range(copies):
             # Duplicates trail the original slightly.
@@ -110,12 +145,31 @@ class Network:
 
     def _deliver(self, msg: Message) -> None:
         if msg.dst in self._down:
+            self._c_dropped_down.inc()
             return
         endpoint = self._endpoints.get(msg.dst)
         if endpoint is not None:
+            self._c_delivered.inc()
+            tracer = self.obs.tracer
+            if tracer:
+                tracer.instant("net.deliver", pid=msg.dst, tid=TID_NET,
+                               cat="net", src=msg.src, kind=msg.kind)
             endpoint(msg)
 
     # ---------------------------------------------------------- accounting
 
     def bytes_between(self, a: NodeId, b: NodeId) -> int:
         return self.bytes_sent[(a, b)] + self.bytes_sent[(b, a)]
+
+    @property
+    def msgs_dropped(self) -> int:
+        """Messages lost to the fault injector (below the reliable layer)."""
+        return self._c_dropped_fault.value
+
+    @property
+    def msgs_duplicated(self) -> int:
+        return self._c_duplicated.value
+
+    @property
+    def msgs_delayed(self) -> int:
+        return self._c_delayed.value

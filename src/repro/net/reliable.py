@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
+from ..obs import TID_NET
 from ..sim.kernel import EventHandle, Simulator
 from ..sim.params import NetParams
 from .message import Message, NodeId
@@ -70,11 +71,26 @@ class ReliableTransport:
         self._send: Dict[NodeId, _SendChannel] = {}
         self._recv: Dict[NodeId, _RecvChannel] = {}
         self.stopped = False
-        # metrics
-        self.retransmissions = 0
-        self.acks_sent = 0
-        self.gave_up = 0
+        # metrics (registry-backed; shared with the network's registry)
+        self.obs = network.obs
+        registry = self.obs.registry
+        self._c_retransmissions = registry.counter("net.retransmits",
+                                                   node=node_id)
+        self._c_acks_sent = registry.counter("net.acks_sent", node=node_id)
+        self._c_gave_up = registry.counter("net.gave_up", node=node_id)
         network.attach(node_id, self._on_wire)
+
+    @property
+    def retransmissions(self) -> int:
+        return self._c_retransmissions.value
+
+    @property
+    def acks_sent(self) -> int:
+        return self._c_acks_sent.value
+
+    @property
+    def gave_up(self) -> int:
+        return self._c_gave_up.value
 
     # ---------------------------------------------------------------- send
 
@@ -129,12 +145,17 @@ class ReliableTransport:
         if chan.retries > self.params.max_retransmits:
             # Peer is almost certainly dead; stop retrying and let the
             # membership service's failure detection take over.
-            self.gave_up += 1
+            self._c_gave_up.inc()
             chan.unacked.clear()
             chan.retries = 0
             return
+        tracer = self.obs.tracer
         for seq in sorted(chan.unacked):
-            self.retransmissions += 1
+            self._c_retransmissions.inc()
+            if tracer:
+                tracer.instant("net.retransmit", pid=self.node_id,
+                               tid=TID_NET, cat="net", dst=dst, seq=seq,
+                               attempt=chan.retries)
             self.network.send(chan.unacked[seq])
         self._arm_retransmit(dst, chan)
 
@@ -180,7 +201,7 @@ class ReliableTransport:
         if chan is None or self.stopped:
             return
         chan.ack_timer = None
-        self.acks_sent += 1
+        self._c_acks_sent.inc()
         ack = Message(self.node_id, src, ACK_KIND, chan.expected, _ACK_SIZE)
         self.network.send(ack)
 

@@ -1,0 +1,60 @@
+"""Unified observability: metrics registry, tracer, exporters.
+
+One :class:`Observability` object (a :class:`MetricsRegistry` plus a
+:class:`Tracer`) is created per simulated cluster and threaded through the
+network, nodes, and protocol managers.  The registry is always live (plain
+in-memory accumulators); tracing defaults to the no-op
+:data:`NULL_TRACER` and is enabled by passing ``Tracer()`` — see
+``python -m repro trace`` for the end-to-end flow.
+"""
+
+from .export import (
+    chrome_trace_events,
+    phase_report,
+    write_chrome_trace,
+    write_metrics,
+    write_trace_jsonl,
+)
+from .registry import (
+    Counter,
+    CounterGroup,
+    Gauge,
+    Histogram,
+    LatencyRecorder,
+    MetricsRegistry,
+    Observability,
+    ThroughputMeter,
+)
+from .stats import cdf_points, percentile
+from .trace import (
+    NULL_TRACER,
+    TID_NET,
+    TID_REPLICATION,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "CounterGroup",
+    "Gauge",
+    "Histogram",
+    "LatencyRecorder",
+    "MetricsRegistry",
+    "Observability",
+    "ThroughputMeter",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "TID_NET",
+    "TID_REPLICATION",
+    "cdf_points",
+    "percentile",
+    "chrome_trace_events",
+    "phase_report",
+    "write_chrome_trace",
+    "write_metrics",
+    "write_trace_jsonl",
+]

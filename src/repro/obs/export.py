@@ -1,0 +1,132 @@
+"""Trace and metrics exporters.
+
+Three consumers, three formats:
+
+* **Chrome trace-event JSON** — load in ``chrome://tracing`` or Perfetto to
+  *see* where transaction time goes (spans nest per node/thread track;
+  timestamps are simulated microseconds, which is exactly the unit the
+  trace-event format expects).
+* **JSONL** — one span/event per line for ad-hoc ``jq``/pandas analysis.
+* **Phase breakdown report** — a text table of p50/p99/mean per span name,
+  the "where did the microseconds go" summary the paper's figures imply.
+
+All output is deterministically ordered (sim-time, then track, then name),
+so identical seeds yield byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .registry import MetricsRegistry
+from .stats import percentile
+from .trace import TID_NET, TID_REPLICATION, Span, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "phase_report",
+    "write_metrics",
+]
+
+
+def _track_name(tid: int) -> str:
+    if tid == TID_NET:
+        return "net"
+    if tid >= TID_REPLICATION:
+        return f"replication.{tid - TID_REPLICATION}"
+    return f"app.{tid}"
+
+
+def _sort_key(span: Span):
+    return (span.start_us, span.pid, span.tid, span.name)
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict]:
+    """The ``traceEvents`` list: metadata + complete + instant events."""
+    events: List[Dict] = []
+    tracks = sorted({(s.pid, s.tid) for s in tracer.spans}
+                    | {(e.pid, e.tid) for e in tracer.instants})
+    for pid in sorted({pid for pid, _tid in tracks}):
+        events.append({"ph": "M", "pid": pid, "tid": 0,
+                       "name": "process_name",
+                       "args": {"name": f"node{pid}"}})
+    for pid, tid in tracks:
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name",
+                       "args": {"name": _track_name(tid)}})
+    for span in sorted(tracer.spans, key=_sort_key):
+        ev = {"ph": "X", "name": span.name, "cat": span.cat,
+              "pid": span.pid, "tid": span.tid,
+              "ts": span.start_us, "dur": span.duration_us}
+        if span.args:
+            ev["args"] = span.args
+        events.append(ev)
+    for inst in sorted(tracer.instants, key=_sort_key):
+        ev = {"ph": "i", "s": "t", "name": inst.name, "cat": inst.cat,
+              "pid": inst.pid, "tid": inst.tid, "ts": inst.start_us}
+        if inst.args:
+            ev["args"] = inst.args
+        events.append(ev)
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Write a ``chrome://tracing``/Perfetto-loadable trace file."""
+    doc = {"displayTimeUnit": "ms", "traceEvents": chrome_trace_events(tracer)}
+    with open(path, "w") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return path
+
+
+def write_trace_jsonl(tracer: Tracer, path: str) -> str:
+    """One JSON object per span/instant, time-ordered."""
+    records = []
+    for span in tracer.spans:
+        records.append({"type": "span", "name": span.name, "cat": span.cat,
+                        "node": span.pid, "tid": span.tid,
+                        "start_us": span.start_us, "end_us": span.end_us,
+                        "args": span.args or {}})
+    for inst in tracer.instants:
+        records.append({"type": "instant", "name": inst.name,
+                        "cat": inst.cat, "node": inst.pid, "tid": inst.tid,
+                        "start_us": inst.start_us, "end_us": inst.start_us,
+                        "args": inst.args or {}})
+    records.sort(key=lambda r: (r["start_us"], r["node"], r["tid"], r["name"]))
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")))
+            fh.write("\n")
+    return path
+
+
+def phase_report(tracer: Tracer) -> str:
+    """Text table: per-phase count / mean / p50 / p99 / max (µs)."""
+    by_name = tracer.durations_by_name()
+    if not by_name:
+        return "phase breakdown: (no spans recorded)"
+    header = f"{'phase':<18} {'count':>7} {'mean_us':>9} {'p50_us':>9} " \
+             f"{'p99_us':>9} {'max_us':>9}"
+    lines = ["phase breakdown (simulated µs)", header, "-" * len(header)]
+    for name in sorted(by_name):
+        durs = by_name[name]
+        lines.append(
+            f"{name:<18} {len(durs):>7} "
+            f"{sum(durs) / len(durs):>9.2f} "
+            f"{percentile(durs, 50):>9.2f} "
+            f"{percentile(durs, 99):>9.2f} "
+            f"{max(durs):>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> str:
+    """Dump a registry snapshot as (deterministic) JSON."""
+    with open(path, "w") as fh:
+        json.dump(registry.snapshot(), fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    return path

@@ -1,0 +1,47 @@
+"""Distribution statistics shared by instruments and reports.
+
+``percentile`` uses linear interpolation between closest ranks — the same
+convention as ``statistics.quantiles(..., method="inclusive")`` and numpy's
+default — so phase-breakdown numbers are comparable across tools.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["percentile", "cdf_points"]
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0..100) by linear interpolation."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile {p} out of range")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    # a + (b - a) * frac is exact when a == b (a*(1-f) + b*f is not).
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+def cdf_points(samples: Sequence[float],
+               points: int = 100) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting a CDF."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    out = []
+    for i in range(points + 1):
+        frac = i / points
+        idx = min(n - 1, int(frac * (n - 1)))
+        out.append((ordered[idx], frac))
+    return out

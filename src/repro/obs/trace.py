@@ -1,0 +1,143 @@
+"""Structured tracing in simulated time.
+
+A :class:`Tracer` records **spans** (named intervals with a start and end)
+and **instants** (point events), both stamped exclusively with the
+simulator clock — never wall time — so a trace is a pure function of seed
+and parameters and two runs with the same seed produce byte-identical
+output.
+
+Track layout (mapped to Chrome trace-event pid/tid):
+
+* ``pid``   — the node id;
+* ``tid``   — the application thread for ``txn`` / ``execute`` /
+  ``own_acquire`` spans, :data:`TID_REPLICATION`\\ ``+ thread`` for the
+  pipelined ``commit_replicate`` spans (they outlive their transaction, so
+  they get their own track), and :data:`TID_NET` for wire-level events.
+
+The default tracer everywhere is :data:`NULL_TRACER`: falsy, stateless,
+and method calls are no-ops, so instrumented call sites guard with
+``if tracer:`` and a disabled tracer costs one falsy check — no
+allocations, no simulator events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER",
+           "TID_REPLICATION", "TID_NET"]
+
+#: tid base for reliable-commit pipeline spans (one track per app thread).
+TID_REPLICATION = 1000
+#: tid for wire-level network events.
+TID_NET = 9999
+
+
+class Span:
+    """One named interval (or instant, when ``end_us == start_us``)."""
+
+    __slots__ = ("name", "cat", "pid", "tid", "start_us", "end_us", "args")
+
+    def __init__(self, name: str, cat: str, pid: int, tid: int,
+                 start_us: float, args: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.cat = cat
+        self.pid = pid
+        self.tid = tid
+        self.start_us = start_us
+        self.end_us: Optional[float] = None
+        self.args = args
+
+    @property
+    def duration_us(self) -> float:
+        return (self.end_us or self.start_us) - self.start_us
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Span({self.name} n{self.pid}/t{self.tid} "
+                f"[{self.start_us:.2f}, {self.end_us}])")
+
+
+class Tracer:
+    """Records spans and instant events against a simulator clock.
+
+    ``sim`` may be bound after construction (the cluster builder owns the
+    simulator); recording before binding is a programming error.
+    """
+
+    __slots__ = ("sim", "spans", "instants")
+
+    enabled = True
+
+    def __init__(self, sim=None):
+        self.sim = sim
+        #: Finished spans, in completion order (deterministic).
+        self.spans: List[Span] = []
+        #: Instant events, in emission order.
+        self.instants: List[Span] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------ recording
+
+    def begin(self, name: str, pid: int, tid: int = 0, cat: str = "span",
+              **args: Any) -> Span:
+        """Open a span at the current simulated time."""
+        return Span(name, cat, pid, tid, self.sim.now, args or None)
+
+    def end(self, span: Span, **args: Any) -> None:
+        """Close ``span`` now and record it."""
+        span.end_us = self.sim.now
+        if args:
+            if span.args is None:
+                span.args = args
+            else:
+                span.args.update(args)
+        self.spans.append(span)
+
+    def instant(self, name: str, pid: int, tid: int = TID_NET,
+                cat: str = "event", **args: Any) -> None:
+        """Record a point event at the current simulated time."""
+        ev = Span(name, cat, pid, tid, self.sim.now, args or None)
+        ev.end_us = ev.start_us
+        self.instants.append(ev)
+
+    # -------------------------------------------------------------- queries
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def durations_by_name(self) -> Dict[str, List[float]]:
+        out: Dict[str, List[float]] = {}
+        for span in self.spans:
+            out.setdefault(span.name, []).append(span.duration_us)
+        return out
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+
+
+class NullTracer:
+    """The zero-overhead disabled tracer: falsy, records nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def begin(self, name: str, pid: int, tid: int = 0, cat: str = "span",
+              **args: Any) -> None:
+        return None
+
+    def end(self, span, **args: Any) -> None:
+        pass
+
+    def instant(self, name: str, pid: int, tid: int = TID_NET,
+                cat: str = "event", **args: Any) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -24,7 +24,7 @@ race-free.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, Set
 
 from ..net.message import Message, NodeId
 from ..sim.process import Future
@@ -88,7 +88,7 @@ class LifecycleMixin:
         future = Future(self.sim)
         if not targets:
             future.set_result(oid)
-            self._count("created")
+            self.counters.inc("created")
             return (yield future)
         self._lifecycle[oid] = _LifecycleCtx(oid, set(targets), future)
         size = 6 * _META + catalog.size_of(oid)
@@ -96,7 +96,7 @@ class LifecycleMixin:
         for target in targets:
             self.node.send(target, KIND_REGISTER, payload, size)
         result = yield future
-        self._count("created")
+        self.counters.inc("created")
         return result
 
     def _on_register(self, msg: Message) -> None:
@@ -143,14 +143,14 @@ class LifecycleMixin:
         future = Future(self.sim)
         if not targets:
             future.set_result(oid)
-            self._count("destroyed")
+            self.counters.inc("destroyed")
             return (yield future)
         self._lifecycle[oid] = _LifecycleCtx(oid, set(targets), future)
         payload = (oid, self.node.epoch)
         for target in targets:
             self.node.send(target, KIND_UNREGISTER, payload, 3 * _META)
         result = yield future
-        self._count("destroyed")
+        self.counters.inc("destroyed")
         return result
 
     def _on_unregister(self, msg: Message) -> None:

@@ -23,7 +23,7 @@ victim but not the owner, keeping the trim out of the write critical path.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..cluster.node import Node
 from ..net.message import Message, NodeId
@@ -149,9 +149,13 @@ class OwnershipManager(LifecycleMixin):
         self._recovered: Dict[int, Set[NodeId]] = {}
         self._lifted_epoch = 1
 
-        # ------ metrics
-        self.latencies_us: List[float] = []
-        self.counters: Dict[str, int] = {}
+        # ------ observability
+        obs = node.obs
+        self.tracer = obs.tracer
+        #: Registry-backed counter view (``ownership.*``, labeled by node).
+        self.counters = obs.registry.group("ownership", node=self.node_id)
+        self._latency = obs.registry.histogram("ownership.latency_us",
+                                               node=self.node_id)
 
         cost = self.params.own_arbitrate_us
         node.register_handler(KIND_REQ, self._on_req, cost=cost)
@@ -170,8 +174,10 @@ class OwnershipManager(LifecycleMixin):
 
     # ------------------------------------------------------------- helpers
 
-    def _count(self, key: str, n: int = 1) -> None:
-        self.counters[key] = self.counters.get(key, 0) + n
+    @property
+    def latencies_us(self) -> List[float]:
+        """Granted-acquire latency samples (registry histogram view)."""
+        return self._latency.samples
 
     def _dir_nodes(self) -> Tuple[NodeId, ...]:
         """Cluster-wide directory duty nodes (recovery barrier home)."""
@@ -210,16 +216,25 @@ class OwnershipManager(LifecycleMixin):
     # ======================================================================
 
     def acquire(self, oid: ObjectId, req_type: ReqType = ReqType.ACQUIRE_OWNER,
-                victim: Optional[NodeId] = None):
+                victim: Optional[NodeId] = None, thread: int = 0):
         """Blocking ownership request (generator; use with ``yield from``).
 
         Returns an :class:`AcquireOutcome`.  Concurrent requests for the
         same object on this node coalesce onto one in-flight request; the
         caller re-checks its access level afterwards and retries if needed.
+        ``thread`` only labels the trace span's track.
         """
+        tracer = self.tracer
         existing = self._req_by_oid.get(oid)
         if existing is not None and not existing.done:
+            span = (tracer.begin("own_acquire", pid=self.node_id, tid=thread,
+                                 cat="ownership", oid=oid,
+                                 type=req_type.name, coalesced=True)
+                    if tracer else None)
             outcome = yield existing.future
+            if span is not None:
+                tracer.end(span, granted=outcome.granted,
+                           reason=outcome.reason.name if outcome.reason else None)
             return outcome
 
         req_id = (self.node_id, self._next_req_id)
@@ -227,7 +242,10 @@ class OwnershipManager(LifecycleMixin):
         ctx = _ReqCtx(req_id, oid, req_type, victim, Future(self.sim), self.sim.now)
         self._reqs[req_id] = ctx
         self._req_by_oid[oid] = ctx
-        self._count(f"req.{req_type.name.lower()}")
+        self.counters.inc(f"req.{req_type.name.lower()}")
+        span = (tracer.begin("own_acquire", pid=self.node_id, tid=thread,
+                             cat="ownership", oid=oid, type=req_type.name)
+                if tracer else None)
 
         obj = self.store.get(oid)
         if obj is not None and obj.o_state == OState.VALID:
@@ -240,6 +258,10 @@ class OwnershipManager(LifecycleMixin):
         req = OwnReq(req_id, oid, self.node_id, req_type, self.node.epoch, victim)
         self.node.send(driver, KIND_REQ, req, OwnReq.size)
         outcome = yield ctx.future
+        if span is not None:
+            # NACK/timeout annotations ride on the span for retry analysis.
+            tracer.end(span, granted=outcome.granted,
+                       reason=outcome.reason.name if outcome.reason else None)
         return outcome
 
     def _complete(self, ctx: _ReqCtx, granted: bool,
@@ -258,10 +280,10 @@ class OwnershipManager(LifecycleMixin):
             obj.o_state = OState.VALID
         latency = self.sim.now - ctx.started_at
         if granted:
-            self.latencies_us.append(latency)
-            self._count("granted")
+            self._latency.record(latency)
+            self.counters.inc("granted")
         else:
-            self._count(f"denied.{reason.name.lower()}")
+            self.counters.inc(f"denied.{reason.name.lower()}")
         ctx.future.set_result(AcquireOutcome(granted, reason, latency))
 
     def _on_timeout(self, req_id: ReqId) -> None:
@@ -351,7 +373,7 @@ class OwnershipManager(LifecycleMixin):
         def trim():
             outcome = yield from self.acquire(oid, ReqType.REMOVE_READER, victim)
             if not outcome.granted:
-                self._count("trim_failed")
+                self.counters.inc("trim_failed")
             return outcome
 
         self.node.spawn(trim(), name=f"trim-{oid}")
@@ -389,7 +411,7 @@ class OwnershipManager(LifecycleMixin):
                 # Directory believes we own it but we do not have it; only
                 # possible under bugs — fail the request so the caller
                 # retries rather than looping on a phantom grant.
-                self._count("already_granted_mismatch")
+                self.counters.inc("already_granted_mismatch")
                 self._complete(ctx, False, NackReason.BUSY_ARBITRATION)
             else:
                 self._complete(ctx, True, None)
@@ -465,7 +487,7 @@ class OwnershipManager(LifecycleMixin):
         if self_is_owner and self._owner_busy(obj):
             # Nothing invalidated yet, so a plain NACK suffices (no ABORT).
             self._nack(req.requester, req, NackReason.BUSY_COMMIT)
-            self._count("owner_busy_nack")
+            self.counters.inc("owner_busy_nack")
             return
 
         inv = OwnInv(req.req_id, req.oid, new_ts, new_replicas, req.requester,
@@ -556,7 +578,7 @@ class OwnershipManager(LifecycleMixin):
             nack = OwnNack(current.req_id, oid, NackReason.CONTENTION_LOST,
                            self.node.epoch)
             self.node.send(current.requester, KIND_NACK, nack, OwnNack.size)
-            self._count("drive_lost")
+            self.counters.inc("drive_lost")
 
         # Owner-busy check: an owner must not give up an object with a
         # pending reliable commit or an executing local transaction.
@@ -570,7 +592,7 @@ class OwnershipManager(LifecycleMixin):
                                o_ts=inv.o_ts)
                 target = msg.src if inv.replay else inv.requester
                 self.node.send(target, KIND_NACK, nack, OwnNack.size)
-                self._count("owner_busy_nack")
+                self.counters.inc("owner_busy_nack")
                 return
 
         # Accept: invalidate and ACK.
@@ -644,7 +666,7 @@ class OwnershipManager(LifecycleMixin):
             still_replica = self.node_id in replicas.all_nodes()
             if not still_replica:
                 self.store.drop(oid)
-                self._count("replica_dropped")
+                self.counters.inc("replica_dropped")
                 return
         obj.o_state = OState.VALID
         obj.o_ts = inv.o_ts
@@ -673,7 +695,7 @@ class OwnershipManager(LifecycleMixin):
             # own demotion VAL was superseded by the (now aborted) larger
             # request must not resurrect a stale self-as-owner view.
             obj.o_replicas = prev if prev.owner == self.node_id else None
-        self._count("arb_aborted")
+        self.counters.inc("arb_aborted")
 
     # ======================================================================
     # Recovery: view changes, barrier, arb-replay
@@ -732,7 +754,7 @@ class OwnershipManager(LifecycleMixin):
         replay_inv = inv.replayed_by(self.node_id, self.node.epoch, live_arbiters)
         ctx = _ReplayCtx(replay_inv, live_arbiters)
         self._replays[inv.req_id] = ctx
-        self._count("arb_replay")
+        self.counters.inc("arb_replay")
         for arb in live_arbiters:
             if arb != self.node_id:
                 self.node.send(arb, KIND_INV, replay_inv, replay_inv.size)
@@ -802,7 +824,7 @@ class OwnershipManager(LifecycleMixin):
                       and not self.store.has(oid))
         if needs_data:
             if resp.data_source is None:
-                self._count("resp_no_data")
+                self.counters.inc("resp_no_data")
                 if ctx is not None:
                     self._complete(ctx, False, NackReason.NO_DATA)
                 return

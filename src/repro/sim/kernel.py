@@ -56,6 +56,9 @@ class Simulator:
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq: int = 0
         self._events_executed: int = 0
+        self._stats_hook: Optional[Callable[["Simulator"], None]] = None
+        self._stats_every: int = 0
+        self._stats_countdown: int = 0
 
     # ------------------------------------------------------------------ time
 
@@ -68,6 +71,31 @@ class Simulator:
     def events_executed(self) -> int:
         """Total events fired so far (useful for budget checks in tests)."""
         return self._events_executed
+
+    # ------------------------------------------------------------ statistics
+
+    def stats(self) -> dict:
+        """Event-loop statistics: clock, events fired, heap backlog."""
+        return {
+            "now_us": self._now,
+            "events_executed": self._events_executed,
+            "pending_events": len(self._heap),
+        }
+
+    def set_stats_hook(self, fn: Optional[Callable[["Simulator"], None]],
+                       every_events: int = 10_000) -> None:
+        """Invoke ``fn(self)`` every ``every_events`` executed events.
+
+        The observability layer uses this to refresh event-loop gauges.
+        The hook must not schedule simulator events (it runs between
+        events, and determinism depends on it staying passive); pass
+        ``None`` to uninstall.
+        """
+        if fn is not None and every_events <= 0:
+            raise SimulationError(f"bad stats interval {every_events}")
+        self._stats_hook = fn
+        self._stats_every = every_events if fn is not None else 0
+        self._stats_countdown = self._stats_every
 
     # ------------------------------------------------------------- scheduling
 
@@ -103,8 +131,16 @@ class Simulator:
             self._now = time
             self._events_executed += 1
             handle.fn(*handle.args)
+            if self._stats_hook is not None:
+                self._tick_stats()
             return True
         return False
+
+    def _tick_stats(self) -> None:
+        self._stats_countdown -= 1
+        if self._stats_countdown <= 0:
+            self._stats_countdown = self._stats_every
+            self._stats_hook(self.stats())
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the heap drains, ``until`` is reached, or
@@ -126,6 +162,8 @@ class Simulator:
             self._now = time
             self._events_executed += 1
             handle.fn(*handle.args)
+            if self._stats_hook is not None:
+                self._tick_stats()
             if budget > 0:
                 budget -= 1
                 if budget == 0:

@@ -14,7 +14,7 @@ deadlock during the Prepare phase.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from ..commit.manager import CommitManager
 from ..ownership.manager import OwnershipManager
@@ -62,6 +62,7 @@ class ZeusAPI:
         self.params = node.params
         self.rng = rng or random.Random(node.node_id)
         self.max_retries = max_retries
+        self.tracer = node.obs.tracer
 
     # ------------------------------------------------------ paper-shaped API
 
@@ -92,15 +93,23 @@ class ZeusAPI:
         result = TxnResult()
         start = self.node.sim.now
         compute = compute or _default_compute
+        tracer = self.tracer
+        tspan = (tracer.begin("txn", pid=self.node.node_id, tid=thread,
+                              cat="txn", kind="write") if tracer else None)
         committed = yield from self._fast_write(thread, write_set, read_set,
                                                 exec_us, compute, result)
         if committed:
             result.committed = True
             result.latency_us = self.node.sim.now - start
+            if tspan is not None:
+                tracer.end(tspan, committed=True, fast=True)
             return result
         backoff = self.params.own_backoff_us
         for _attempt in range(self.max_retries):
             txn = self.tr_create(thread)
+            espan = (tracer.begin("execute", pid=self.node.node_id,
+                                  tid=thread, cat="txn", attempt=_attempt)
+                     if tracer else None)
             try:
                 yield self.params.txn_setup_us
                 for oid in write_set:
@@ -112,10 +121,14 @@ class ZeusAPI:
                     yield exec_us
                 yield from txn.commit()
                 result.committed = True
+                if espan is not None:
+                    tracer.end(espan, committed=True)
                 break
             except TxnAborted as abort:
                 result.aborts += 1
                 result.abort_reason = abort.reason
+                if espan is not None:
+                    tracer.end(espan, committed=False, abort=abort.reason)
                 yield backoff * (0.5 + self.rng.random())
                 backoff = min(backoff * 2, self.params.own_backoff_max_us)
             finally:
@@ -124,6 +137,9 @@ class ZeusAPI:
         else:
             result.abort_reason = AbortReason.RETRIES_EXHAUSTED
         result.latency_us = self.node.sim.now - start
+        if tspan is not None:
+            tracer.end(tspan, committed=result.committed,
+                       aborts=result.aborts)
         return result
 
     def execute_read(self, thread: int, read_set: Sequence[ObjectId],
@@ -135,14 +151,22 @@ class ZeusAPI:
         """
         result = TxnResult()
         start = self.node.sim.now
+        tracer = self.tracer
+        tspan = (tracer.begin("txn", pid=self.node.node_id, tid=thread,
+                              cat="txn", kind="read") if tracer else None)
         committed = yield from self._fast_read(read_set, exec_us, result)
         if committed:
             result.committed = True
             result.latency_us = self.node.sim.now - start
+            if tspan is not None:
+                tracer.end(tspan, committed=True, fast=True)
             return result
         backoff = self.params.own_backoff_us
         for _attempt in range(self.max_retries):
             txn = self.tr_r_create(thread)
+            espan = (tracer.begin("execute", pid=self.node.node_id,
+                                  tid=thread, cat="txn", attempt=_attempt)
+                     if tracer else None)
             try:
                 yield self.params.txn_setup_us
                 for oid in read_set:
@@ -151,10 +175,14 @@ class ZeusAPI:
                     yield exec_us
                 yield from txn.commit()
                 result.committed = True
+                if espan is not None:
+                    tracer.end(espan, committed=True)
                 break
             except TxnAborted as abort:
                 result.aborts += 1
                 result.abort_reason = abort.reason
+                if espan is not None:
+                    tracer.end(espan, committed=False, abort=abort.reason)
                 yield backoff * (0.5 + self.rng.random())
                 backoff = min(backoff * 2, self.params.own_backoff_max_us)
             finally:
@@ -163,6 +191,9 @@ class ZeusAPI:
         else:
             result.abort_reason = AbortReason.RETRIES_EXHAUSTED
         result.latency_us = self.node.sim.now - start
+        if tspan is not None:
+            tracer.end(tspan, committed=result.committed,
+                       aborts=result.aborts)
         return result
 
     # ------------------------------------------------------------ fast paths

@@ -23,7 +23,7 @@ than block, which keeps the per-thread pipelines independent.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Set, Tuple
 
 from ..commit.manager import CommitManager
 from ..ownership.manager import OwnershipManager
@@ -180,7 +180,8 @@ class Transaction(_TxnBase):
                     and obj.o_replicas.owner == self.node.node_id):
                 return obj
             self.stats.ownership_requests += 1
-            outcome = yield from self.ownership.acquire(oid, ReqType.ACQUIRE_OWNER)
+            outcome = yield from self.ownership.acquire(
+                oid, ReqType.ACQUIRE_OWNER, thread=self.thread)
             if outcome.granted:
                 self.stats.acquired_objects += 1
                 continue  # re-check level (coalesced requests may differ)
@@ -194,7 +195,8 @@ class Transaction(_TxnBase):
             if obj is not None and obj.o_state in (OState.VALID, OState.REQUEST):
                 return obj
             self.stats.ownership_requests += 1
-            outcome = yield from self.ownership.acquire(oid, ReqType.ADD_READER)
+            outcome = yield from self.ownership.acquire(
+                oid, ReqType.ADD_READER, thread=self.thread)
             if outcome.granted:
                 self.stats.acquired_objects += 1
                 continue
@@ -222,7 +224,8 @@ class ReadOnlyTransaction(_TxnBase):
             # Not a replica: acquire reader level (rare; the load balancer
             # routes read-only transactions to replicas).
             self.stats.ownership_requests += 1
-            outcome = yield from self.ownership.acquire(oid, ReqType.ADD_READER)
+            outcome = yield from self.ownership.acquire(
+                oid, ReqType.ADD_READER, thread=self.thread)
             if not outcome.granted:
                 raise TxnAborted(AbortReason.OWNERSHIP_DENIED)
             obj = self.store.get(oid)

@@ -11,7 +11,7 @@ state invariants everywhere and reporting a minimal counterexample trace.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 __all__ = ["CheckResult", "bfs_check"]
 

@@ -22,7 +22,7 @@ commit's crash recovery by :mod:`repro.verify.commit_model`.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, Tuple
 
 from .checker import CheckResult, bfs_check
 

@@ -14,7 +14,7 @@ evaluated system").
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence
 
 from ..baselines.cluster import BaselineCluster
 from ..harness.metrics import ThroughputMeter

@@ -17,7 +17,7 @@ executes it remotely forever.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..store.catalog import Catalog
 from .base import TxnSpec

@@ -16,7 +16,7 @@ server ~250k/s.  :func:`migrate_objects` is that mover.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..harness.zeus_cluster import ZeusCluster
 from ..store.catalog import Catalog

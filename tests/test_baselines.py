@@ -1,6 +1,5 @@
 """Distributed-commit baseline engine: correctness and protocol shape."""
 
-import pytest
 
 from repro.baselines import DRTM, FARM, FASST, BaselineCluster
 from repro.store.catalog import Catalog

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster.membership import MembershipService
 from repro.cluster.node import Node
 from repro.net.network import Network
 from repro.sim.kernel import Simulator

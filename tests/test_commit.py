@@ -1,6 +1,5 @@
 """Reliable commit: replication, pipelining, read-only safety, recovery."""
 
-import pytest
 
 from repro.store.meta import TState
 from tests.conftest import make_cluster, run_app
@@ -109,7 +108,6 @@ def test_pipelining_does_not_block_app_thread():
 def test_pipeline_depth_backpressure():
     cluster = make_cluster(3, objects=40, spread=False)
     catalog_objects = 40
-    from repro.harness.zeus_cluster import ZeusCluster
 
     deep = cluster  # default depth 32
     shallow = make_cluster(3, objects=40, spread=False)

@@ -41,6 +41,66 @@ def test_cdf_points_monotone():
     assert fracs[0] == 0.0 and fracs[-1] == 1.0
 
 
+def test_cdf_points_single_sample():
+    points = cdf_points([4.2], points=10)
+    assert all(v == 4.2 for v, _f in points)
+    assert points[-1][1] == 1.0
+
+
+def test_cdf_points_empty():
+    assert cdf_points([]) == []
+
+
+# ------------------------------------------------- property-based (stats)
+
+from hypothesis import given  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=200))
+def test_percentile_matches_statistics_quantiles(data):
+    """percentile() agrees with the stdlib's inclusive quantiles."""
+    import statistics
+
+    qs = statistics.quantiles(data, n=100, method="inclusive")
+    for p, expected in zip(range(1, 100), qs):
+        assert percentile(data, p) == pytest.approx(expected, rel=1e-9,
+                                                    abs=1e-6)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200),
+       st.floats(min_value=0.0, max_value=100.0))
+def test_percentile_bounded_and_monotone(data, p):
+    value = percentile(data, p)
+    assert min(data) <= value <= max(data)
+    # Monotone in p.
+    if p < 100.0:
+        assert value <= percentile(data, 100.0)
+    if p > 0.0:
+        assert value >= percentile(data, 0.0)
+
+
+@given(finite_floats)
+def test_percentile_single_sample_is_constant(x):
+    for p in (0.0, 37.5, 50.0, 99.9, 100.0):
+        assert percentile([x], p) == x
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=100),
+       st.integers(min_value=2, max_value=50))
+def test_cdf_points_properties(data, points):
+    out = cdf_points(data, points=points)
+    values = [v for v, _f in out]
+    fracs = [f for _v, f in out]
+    assert values == sorted(values)
+    assert fracs == sorted(fracs)
+    assert fracs[0] == 0.0 and fracs[-1] == 1.0
+    assert values[0] == min(data) and values[-1] == max(data)
+
+
 def test_throughput_meter_timeline():
     meter = ThroughputMeter(bin_us=1_000.0)
     for t in (100.0, 200.0, 1_500.0):

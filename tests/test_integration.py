@@ -1,6 +1,5 @@
 """End-to-end scenarios spanning every subsystem."""
 
-import pytest
 
 from repro.store.meta import TState
 from repro.verify.invariants import check_invariants, check_quiescent

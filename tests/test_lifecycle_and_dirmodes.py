@@ -3,7 +3,6 @@
 import pytest
 
 from repro.harness.zeus_cluster import ZeusCluster
-from repro.ownership.messages import ReqType
 from repro.sim.params import SimParams
 from repro.store.catalog import Catalog
 from tests.conftest import make_cluster, run_app

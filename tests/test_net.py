@@ -115,6 +115,74 @@ def test_fault_injector_duplicates():
     assert len(got) == 2
 
 
+# ------------------------------------------------------- registry counters
+
+
+def test_drop_counters_in_registry():
+    sim = Simulator()
+    import random
+
+    net = make_net(sim, faults=FaultParams(loss_prob=1.0))
+    net.faults.rng = random.Random(1)
+    net.attach(0, lambda m: None)
+    net.attach(1, lambda m: None)
+    for _ in range(7):
+        net.send(Message(0, 1, "k", None, 10))
+    sim.run()
+    counters = net.obs.registry.snapshot()["counters"]
+    assert counters["net.dropped"] == 7
+    assert net.msgs_dropped == 7
+    assert counters["net.delivered"] == 0
+
+
+def test_duplicate_and_delay_counters_in_registry():
+    sim = Simulator()
+    import random
+
+    net = make_net(sim, faults=FaultParams(duplicate_prob=1.0,
+                                           reorder_max_us=20.0))
+    net.faults.rng = random.Random(3)
+    net.attach(0, lambda m: None)
+    net.attach(1, lambda m: None)
+    for _ in range(5):
+        net.send(Message(0, 1, "k", None, 10))
+    sim.run()
+    assert net.msgs_duplicated == 5
+    assert net.msgs_delayed > 0
+    counters = net.obs.registry.snapshot()["counters"]
+    assert counters["net.duplicated"] == 5
+    assert counters["net.delivered"] == 10
+
+
+def test_partition_drop_counter():
+    sim = Simulator()
+    net = make_net(sim)
+    net.attach(0, lambda m: None)
+    net.attach(1, lambda m: None)
+    net.partition(0, 1)
+    net.send(Message(0, 1, "k", None, 10))
+    sim.run()
+    counters = net.obs.registry.snapshot()["counters"]
+    assert counters["net.dropped_partition"] == 1
+
+
+def test_retransmit_counter_in_registry():
+    sim = Simulator()
+    import random
+
+    faults = FaultParams(loss_prob=0.3)
+    net, a, _b, _ia, inbox_b = make_pair(sim, faults=faults)
+    net.faults.rng = random.Random(42)
+    for i in range(50):
+        a.send(1, "k", i, 10)
+    sim.run(until=100_000)
+    assert [m.payload for m in inbox_b] == list(range(50))
+    registry = net.obs.registry
+    assert registry.counter("net.retransmits", node=0).value \
+        == a.retransmissions > 0
+    assert registry.counter_total("net.retransmits") >= a.retransmissions
+
+
 # --------------------------------------------------------------- reliable
 
 

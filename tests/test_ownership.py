@@ -1,6 +1,5 @@
 """Reliable ownership protocol: grants, contention, trims, recovery."""
 
-import pytest
 
 from repro.ownership.messages import NackReason, ReqType
 from repro.store.meta import OState, TState

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.workloads import (
     HandoverWorkload,
