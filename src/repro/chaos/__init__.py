@@ -1,0 +1,42 @@
+"""Chaos engineering for the simulated Zeus deployment.
+
+Declarative fault schedules (crashes, healing partitions, gray slowdowns,
+burst loss/duplication/reordering windows), a seeded scenario generator,
+an engine that applies a schedule to a :class:`ZeusCluster`, and a
+campaign runner that sweeps workload × schedule × seed grids and audits
+the paper's invariants after every run — see ``python -m repro chaos``.
+"""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    RunReport,
+    run_campaign,
+    run_chaos_once,
+)
+from .engine import ChaosEngine
+from .generator import generate_schedule
+from .schedule import (
+    ChaosEventType,
+    CrashEvent,
+    FaultSchedule,
+    FaultWindowEvent,
+    PartitionEvent,
+    SlowdownEvent,
+)
+
+__all__ = [
+    "CrashEvent",
+    "PartitionEvent",
+    "SlowdownEvent",
+    "FaultWindowEvent",
+    "ChaosEventType",
+    "FaultSchedule",
+    "generate_schedule",
+    "ChaosEngine",
+    "CampaignConfig",
+    "RunReport",
+    "CampaignResult",
+    "run_chaos_once",
+    "run_campaign",
+]

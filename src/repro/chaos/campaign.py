@@ -1,0 +1,241 @@
+"""Chaos campaigns: workload × schedule × seed grids with post-run audits.
+
+One campaign run:
+
+1. builds a fresh cluster (counter objects spread across nodes, membership
+   heartbeats on, a clean fault baseline);
+2. installs a generated :class:`FaultSchedule` via :class:`ChaosEngine`;
+3. drives a closed-loop counter-increment workload while the schedule
+   fires;
+4. drains the run well past the last fault, then audits safety,
+   exactly-once application, epoch agreement, and liveness
+   (:func:`repro.verify.audit.audit_run`).
+
+Everything — workload, jitter, fault timeline — derives from the (schedule
+seed, run seed) pair, so a run's :meth:`RunReport.digest` is reproducible
+bit-for-bit: the campaign's determinism is itself auditable (and audited,
+in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..harness.zeus_cluster import ZeusCluster
+from ..obs import MetricsRegistry, Observability
+from ..sim.params import FaultParams, SimParams
+from ..store.catalog import Catalog
+from ..verify.audit import AuditReport, CommitLedger, audit_run
+from ..workloads.base import TxnSpec, run_zeus_workload
+from .engine import ChaosEngine
+from .generator import generate_schedule
+from .schedule import FaultSchedule
+
+__all__ = ["CampaignConfig", "RunReport", "CampaignResult",
+           "run_chaos_once", "run_campaign"]
+
+
+@dataclass
+class CampaignConfig:
+    num_nodes: int = 4
+    num_objects: int = 8
+    #: Workload window (schedules place all faults inside it).
+    duration_us: float = 30_000.0
+    #: Extra drain time after the workload stops, before the audit.
+    quiesce_us: float = 30_000.0
+    app_threads: int = 2
+    #: Fraction of transactions that are read-only.
+    read_frac: float = 0.2
+    num_schedules: int = 3
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    #: Scenario severity (1..3); 3 stacks loss + partition + slowdown.
+    difficulty: int = 3
+    #: First schedule-seed; schedule i uses ``schedule_seed_base + i``.
+    schedule_seed_base: int = 100
+    lease_us: float = 1_500.0
+    heartbeat_us: float = 150.0
+    faults_baseline: FaultParams = field(default_factory=FaultParams)
+
+
+@dataclass
+class RunReport:
+    """Outcome of one (schedule, seed) cell."""
+
+    schedule_name: str
+    schedule_signature: str
+    seed: int
+    committed: int
+    aborted: int
+    #: Injected-fault record, in simulated-time order.
+    timeline: List[str]
+    #: Network-level fault counters for the run.
+    net_faults: dict
+    audit: AuditReport
+
+    @property
+    def ok(self) -> bool:
+        return self.audit.ok
+
+    def digest(self) -> str:
+        """A stable fingerprint: same seeds ⇒ byte-identical digest."""
+        audits = ";".join(f"{name}:{problem}"
+                          for name, problem in self.audit.problems())
+        return (f"{self.schedule_signature}|seed={self.seed}"
+                f"|committed={self.committed}|aborted={self.aborted}"
+                f"|timeline={','.join(self.timeline)}"
+                f"|audit={'OK' if self.audit.ok else audits}")
+
+
+@dataclass
+class CampaignResult:
+    runs: List[RunReport] = field(default_factory=list)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.runs) and all(r.ok for r in self.runs)
+
+    @property
+    def coverage(self) -> set:
+        """Which fault classes the campaign actually exercised."""
+        kinds = set()
+        for run in self.runs:
+            for entry in run.timeline:
+                kinds.add(entry.split("(", 1)[0])
+        return kinds
+
+    def summary(self) -> str:
+        total = len(self.runs)
+        failed = [r for r in self.runs if not r.ok]
+        committed = sum(r.committed for r in self.runs)
+        lines = [
+            f"chaos campaign: {total} runs, {total - len(failed)} passed, "
+            f"{len(failed)} failed; {committed} txns committed",
+            f"fault coverage: {', '.join(sorted(self.coverage)) or 'none'}",
+        ]
+        for run in failed:
+            lines.append(f"  FAILED {run.schedule_name} seed {run.seed}:")
+            for audit_name, problem in run.audit.problems():
+                lines.append(f"    [{audit_name}] {problem}")
+        return "\n".join(lines)
+
+
+def _build_cluster(cfg: CampaignConfig, seed: int,
+                   obs: Optional[Observability]) -> ZeusCluster:
+    catalog = Catalog(cfg.num_nodes,
+                      replication_degree=min(3, cfg.num_nodes))
+    catalog.add_table("counter", 64)
+    for i in range(cfg.num_objects):
+        catalog.create_object("counter", i, owner=i % cfg.num_nodes)
+    params = SimParams(
+        faults=cfg.faults_baseline,
+        lease_us=cfg.lease_us,
+        heartbeat_us=cfg.heartbeat_us,
+    ).scaled_threads(app=cfg.app_threads, worker=cfg.app_threads)
+    cluster = ZeusCluster(cfg.num_nodes, params=params, catalog=catalog,
+                          seed=seed, obs=obs)
+    cluster.load(init_value=0)
+    return cluster
+
+
+def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
+                   obs: Optional[Observability] = None) -> RunReport:
+    """Execute one audited run of ``schedule`` under run-seed ``seed``."""
+    cluster = _build_cluster(cfg, seed, obs)
+    engine = ChaosEngine(cluster)
+    engine.install(schedule)
+    cluster.start_membership()
+
+    ledger = CommitLedger()
+    num_objects = cfg.num_objects
+    read_frac = cfg.read_frac
+
+    def spec_fn(node_id: int, thread: int, rng) -> TxnSpec:
+        k = rng.randrange(1, 3)
+        oids = rng.sample(range(num_objects), k)
+        if read_frac > 0 and rng.random() < read_frac:
+            return TxnSpec(read_set=oids, read_only=True, exec_us=0.3)
+        return TxnSpec(write_set=oids, exec_us=0.3)
+
+    def on_commit(node_id: int, spec: TxnSpec, _result) -> None:
+        if not spec.read_only:
+            ledger.record(node_id, spec.write_set)
+
+    stats = run_zeus_workload(cluster, spec_fn, duration_us=cfg.duration_us,
+                              threads=cfg.app_threads, seed=seed,
+                              on_commit=on_commit)
+    # Drain: retransmissions, probes across healed partitions, failure
+    # detection, commit replay and arb-replay all finish in this window.
+    cluster.run(until=cfg.duration_us + cfg.quiesce_us)
+
+    audit = audit_run(cluster, ledger, initial_value=0)
+    failures = cluster.failures
+    timeline = [f"crash(t={t:.0f},n{n})" for t, n in failures.crashed]
+    timeline += [f"partition(t={t:.0f},{list(a)}|{list(b)})"
+                 for t, a, b in failures.partitions]
+    timeline += [f"heal(t={t:.0f},{list(a)}|{list(b)})"
+                 for t, a, b in failures.heals]
+    timeline += [f"slow(t={t:.0f},n{n},x{f:g})"
+                 for t, n, f in failures.slowdowns]
+    timeline.sort(key=lambda s: float(s.split("t=", 1)[1].split(",", 1)[0].rstrip(")")))
+    if schedule.has_fault_window:
+        timeline.append("loss_burst")
+
+    net_faults = {
+        "dropped": cluster.faults.dropped,
+        "duplicated": cluster.faults.duplicated,
+        "reordered": cluster.faults.reordered,
+        "retransmits": sum(h.node.transport.retransmissions
+                           for h in cluster.handles),
+        "gave_up": sum(h.node.transport.gave_up for h in cluster.handles),
+    }
+    return RunReport(
+        schedule_name=schedule.name,
+        schedule_signature=schedule.signature(),
+        seed=seed,
+        committed=ledger.committed,
+        aborted=stats.aborted_txns,
+        timeline=timeline,
+        net_faults=net_faults,
+        audit=audit,
+    )
+
+
+ProgressFn = Callable[[RunReport], None]
+
+
+def run_campaign(cfg: Optional[CampaignConfig] = None,
+                 progress: Optional[ProgressFn] = None) -> CampaignResult:
+    """Run the full schedule × seed grid and aggregate the audits."""
+    cfg = cfg or CampaignConfig()
+    result = CampaignResult()
+    registry = result.registry
+    c_runs = registry.counter("chaos.runs")
+    c_ok = registry.counter("chaos.runs_ok")
+    c_failed = registry.counter("chaos.runs_failed")
+    c_problems = registry.counter("chaos.audit_problems")
+    c_committed = registry.counter("chaos.committed")
+
+    for i in range(cfg.num_schedules):
+        schedule = generate_schedule(
+            cfg.num_nodes, cfg.duration_us,
+            seed=cfg.schedule_seed_base + i,
+            difficulty=cfg.difficulty,
+            # The first schedule always crashes a node so every campaign
+            # exercises detection + replay, whatever the rng picked.
+            require_crash=(i == 0),
+        )
+        for seed in cfg.seeds:
+            report = run_chaos_once(schedule, seed, cfg)
+            result.runs.append(report)
+            c_runs.inc()
+            c_committed.inc(report.committed)
+            if report.ok:
+                c_ok.inc()
+            else:
+                c_failed.inc()
+                c_problems.inc(len(report.audit.problems()))
+            if progress is not None:
+                progress(report)
+    return result

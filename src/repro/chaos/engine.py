@@ -1,0 +1,79 @@
+"""Applies a :class:`FaultSchedule` to a live :class:`ZeusCluster`.
+
+Crashes, partitions and slowdowns route through the cluster's
+:class:`~repro.cluster.failure.FailureInjector` (which records them and
+emits ``chaos.*`` tracer instants); fault windows swap the network
+injector's :class:`FaultParams` in and out at the window edges, restoring
+the baseline captured at install time.  Everything is scheduled on the
+simulator clock before the run starts, so the fault timeline is part of
+the run's deterministic event order.
+"""
+
+from __future__ import annotations
+
+from ..harness.zeus_cluster import ZeusCluster
+from ..obs import TID_NET
+from ..sim.params import FaultParams
+from .schedule import (
+    CrashEvent,
+    FaultSchedule,
+    FaultWindowEvent,
+    PartitionEvent,
+    SlowdownEvent,
+)
+
+__all__ = ["ChaosEngine"]
+
+
+class ChaosEngine:
+    """Schedules one fault timeline onto one cluster (install once)."""
+
+    def __init__(self, cluster: ZeusCluster):
+        self.cluster = cluster
+        self.obs = cluster.obs
+        self._baseline: FaultParams = cluster.faults.params
+        self._installed = False
+        registry = self.obs.registry
+        self._c_events = registry.counter("chaos.events_scheduled")
+        self._c_windows = registry.counter("chaos.fault_windows")
+
+    def install(self, schedule: FaultSchedule) -> None:
+        """Validate ``schedule`` against the cluster and schedule it all."""
+        if self._installed:
+            raise RuntimeError("a schedule is already installed")
+        self._installed = True
+        cluster = self.cluster
+        schedule.validate(num_nodes=len(cluster.nodes))
+        failures = cluster.failures
+        for ev in schedule:
+            self._c_events.inc()
+            if isinstance(ev, CrashEvent):
+                failures.crash_at(cluster.nodes[ev.node], ev.at_us)
+            elif isinstance(ev, PartitionEvent):
+                failures.partition_at(ev.a_side, ev.b_side, ev.at_us,
+                                      ev.heal_at_us)
+            elif isinstance(ev, SlowdownEvent):
+                failures.slow_at(cluster.nodes[ev.node], ev.factor,
+                                 ev.at_us, ev.end_us)
+            elif isinstance(ev, FaultWindowEvent):
+                self._c_windows.inc()
+                cluster.sim.call_at(ev.at_us, self._open_window, ev.params)
+                cluster.sim.call_at(ev.end_us, self._close_window)
+
+    # -------------------------------------------------------- fault windows
+
+    def _open_window(self, params: FaultParams) -> None:
+        self.cluster.faults.params = params
+        tracer = self.obs.tracer
+        if tracer:
+            tracer.instant("chaos.fault_window_open", pid=0, tid=TID_NET,
+                           cat="chaos", loss=params.loss_prob,
+                           dup=params.duplicate_prob,
+                           reorder=params.reorder_max_us)
+
+    def _close_window(self) -> None:
+        self.cluster.faults.params = self._baseline
+        tracer = self.obs.tracer
+        if tracer:
+            tracer.instant("chaos.fault_window_close", pid=0, tid=TID_NET,
+                           cat="chaos")

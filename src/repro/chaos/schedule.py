@@ -1,0 +1,176 @@
+"""Declarative fault schedules: time-windowed adversity for one run.
+
+A :class:`FaultSchedule` is an ordered set of events against the simulated
+clock, covering the full fault model Zeus claims to survive (Sections 3.1,
+5, 6) plus the gray failures lease-based detection struggles with:
+
+* :class:`CrashEvent` — crash-stop a node (it never returns);
+* :class:`PartitionEvent` — sever every link between two node groups, and
+  (optionally) heal it later — the case that distinguishes a correct
+  reliable transport from one that silently desynchronizes;
+* :class:`SlowdownEvent` — multiply one node's CPU costs for a window
+  (gray failure: alive, correct, slow);
+* :class:`FaultWindowEvent` — replace the network injector's
+  :class:`~repro.sim.params.FaultParams` for a window (burst loss /
+  duplication / reordering), making fault rates time-varying.
+
+Schedules are plain data: they can be generated (see
+:mod:`repro.chaos.generator`), hand-written in tests, printed, and hashed
+for determinism checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..sim.params import FaultParams
+
+__all__ = ["CrashEvent", "PartitionEvent", "SlowdownEvent",
+           "FaultWindowEvent", "FaultSchedule", "ChaosEventType"]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    at_us: float
+    node: int
+
+    def describe(self) -> str:
+        return f"t={self.at_us:.0f}us crash node {self.node}"
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    at_us: float
+    a_side: Tuple[int, ...]
+    b_side: Tuple[int, ...]
+    #: When the partition heals; None = never (for the run's lifetime).
+    heal_at_us: Optional[float] = None
+
+    def describe(self) -> str:
+        heal = (f", heals t={self.heal_at_us:.0f}us"
+                if self.heal_at_us is not None else ", never heals")
+        return (f"t={self.at_us:.0f}us partition {list(self.a_side)} | "
+                f"{list(self.b_side)}{heal}")
+
+
+@dataclass(frozen=True)
+class SlowdownEvent:
+    at_us: float
+    node: int
+    factor: float
+    #: When full speed is restored; None = degraded for the run's lifetime.
+    end_us: Optional[float] = None
+
+    def describe(self) -> str:
+        end = (f" until t={self.end_us:.0f}us"
+               if self.end_us is not None else " permanently")
+        return f"t={self.at_us:.0f}us slow node {self.node} x{self.factor:g}{end}"
+
+
+@dataclass(frozen=True)
+class FaultWindowEvent:
+    at_us: float
+    end_us: float
+    params: FaultParams
+
+    def describe(self) -> str:
+        p = self.params
+        return (f"t={self.at_us:.0f}us..{self.end_us:.0f}us faults "
+                f"loss={p.loss_prob:g} dup={p.duplicate_prob:g} "
+                f"reorder={p.reorder_max_us:g}us")
+
+
+ChaosEventType = Union[CrashEvent, PartitionEvent, SlowdownEvent,
+                       FaultWindowEvent]
+
+
+class FaultSchedule:
+    """An ordered, validated fault timeline for one run."""
+
+    __slots__ = ("events", "name")
+
+    def __init__(self, events, name: str = "schedule"):
+        self.events: Tuple[ChaosEventType, ...] = tuple(
+            sorted(events, key=lambda e: (e.at_us, e.describe())))
+        self.name = name
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ----------------------------------------------------------- validation
+
+    def validate(self, num_nodes: int, horizon_us: Optional[float] = None) -> None:
+        """Raise ``ValueError`` on an impossible schedule."""
+        windows = []
+        for ev in self.events:
+            if ev.at_us < 0:
+                raise ValueError(f"event before t=0: {ev.describe()}")
+            if horizon_us is not None and ev.at_us > horizon_us:
+                raise ValueError(f"event past horizon: {ev.describe()}")
+            if isinstance(ev, CrashEvent):
+                if not 0 <= ev.node < num_nodes:
+                    raise ValueError(f"bad node in {ev.describe()}")
+            elif isinstance(ev, PartitionEvent):
+                nodes = set(ev.a_side) | set(ev.b_side)
+                if not ev.a_side or not ev.b_side:
+                    raise ValueError(f"empty side in {ev.describe()}")
+                if set(ev.a_side) & set(ev.b_side):
+                    raise ValueError(f"overlapping sides in {ev.describe()}")
+                if any(not 0 <= n < num_nodes for n in nodes):
+                    raise ValueError(f"bad node in {ev.describe()}")
+                if ev.heal_at_us is not None and ev.heal_at_us <= ev.at_us:
+                    raise ValueError(f"heal before cut in {ev.describe()}")
+            elif isinstance(ev, SlowdownEvent):
+                if not 0 <= ev.node < num_nodes:
+                    raise ValueError(f"bad node in {ev.describe()}")
+                if ev.factor <= 0:
+                    raise ValueError(f"bad factor in {ev.describe()}")
+                if ev.end_us is not None and ev.end_us <= ev.at_us:
+                    raise ValueError(f"window ends early in {ev.describe()}")
+            elif isinstance(ev, FaultWindowEvent):
+                if ev.end_us <= ev.at_us:
+                    raise ValueError(f"window ends early in {ev.describe()}")
+                windows.append((ev.at_us, ev.end_us))
+        windows.sort()
+        for (s1, e1), (s2, _e2) in zip(windows, windows[1:]):
+            if s2 < e1:
+                raise ValueError(
+                    f"overlapping fault windows at t={s2:.0f}us (previous "
+                    f"window runs to t={e1:.0f}us)")
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def crash_nodes(self) -> Tuple[int, ...]:
+        return tuple(e.node for e in self.events if isinstance(e, CrashEvent))
+
+    @property
+    def has_partition(self) -> bool:
+        return any(isinstance(e, PartitionEvent) for e in self.events)
+
+    @property
+    def has_slowdown(self) -> bool:
+        return any(isinstance(e, SlowdownEvent) for e in self.events)
+
+    @property
+    def has_fault_window(self) -> bool:
+        return any(isinstance(e, FaultWindowEvent) for e in self.events)
+
+    def describe(self) -> str:
+        if not self.events:
+            return f"{self.name}: (no faults)"
+        lines = [f"{self.name}:"]
+        lines.extend(f"  {ev.describe()}" for ev in self.events)
+        return "\n".join(lines)
+
+    def signature(self) -> str:
+        """A stable digest of the timeline — two runs with the same seed
+        must produce byte-identical signatures."""
+        return "; ".join(ev.describe() for ev in self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FaultSchedule({self.name}, {len(self.events)} events)"

@@ -1,28 +1,56 @@
-"""Crash-stop fault injection.
+"""Fault injection at the cluster level: crashes, partitions, slowdowns.
 
-Schedules node crashes at chosen simulated times; the membership service's
-lease machinery then detects the failure and installs a new epoch, which is
-what triggers the Zeus recovery paths (ownership arb-replay, reliable-commit
-replay).  Crash-stop is the paper's failure model (Section 3.1) — crashed
-nodes never return.
+Crash-stop is the paper's failure model (Section 3.1) — crashed nodes never
+return; the membership service's lease machinery detects the failure and
+installs a new epoch, which triggers the Zeus recovery paths (ownership
+arb-replay, reliable-commit replay).
+
+The chaos layer extends this with the adversities the paper's network model
+admits but the seed code never injected systematically:
+
+* **link-level partitions** that, unlike crashes, *heal* — every cross pair
+  between two node groups is severed at the network and later restored;
+* **gray failures** — a node (or link) keeps running but slowly, via the
+  CPU ``speed_factor`` / link latency multipliers.
+
+All injections are scheduled on the simulator clock, so a fault timeline is
+as deterministic as everything else in a run.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from ..net.network import Network
+from ..obs import Observability, TID_NET
 from ..sim.kernel import Simulator
 from .node import Node
 
 __all__ = ["FailureInjector"]
 
+NodeGroup = Sequence[int]
+
 
 class FailureInjector:
-    """Deterministic crash scheduler."""
+    """Deterministic crash / partition / slowdown scheduler."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, network: Optional[Network] = None,
+                 obs: Optional[Observability] = None):
         self.sim = sim
+        self.network = network
+        self.obs = obs if obs is not None else (
+            network.obs if network is not None else Observability())
+        registry = self.obs.registry
+        self._c_crashes = registry.counter("faults.crashes")
+        self._c_partitions = registry.counter("faults.partitions")
+        self._c_heals = registry.counter("faults.heals")
+        self._c_slowdowns = registry.counter("faults.slowdowns")
         self.crashed: List[Tuple[float, int]] = []
+        self.partitions: List[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = []
+        self.heals: List[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = []
+        self.slowdowns: List[Tuple[float, int, float]] = []
+
+    # -------------------------------------------------------------- crashes
 
     def crash_at(self, node: Node, time_us: float) -> None:
         """Crash ``node`` at absolute simulated time ``time_us``."""
@@ -38,3 +66,75 @@ class FailureInjector:
         if node.alive:
             node.crash()
             self.crashed.append((self.sim.now, node.node_id))
+            self._c_crashes.inc()
+            tracer = self.obs.tracer
+            if tracer:
+                tracer.instant("chaos.crash", pid=node.node_id, tid=TID_NET,
+                               cat="chaos")
+
+    # ----------------------------------------------------------- partitions
+
+    def partition(self, a_side: NodeGroup, b_side: NodeGroup) -> None:
+        """Sever every (a, b) link between the two groups, now."""
+        self._require_network()
+        for a in a_side:
+            for b in b_side:
+                self.network.partition(a, b)
+        self.partitions.append((self.sim.now, tuple(a_side), tuple(b_side)))
+        self._c_partitions.inc()
+        tracer = self.obs.tracer
+        if tracer:
+            tracer.instant("chaos.partition", pid=min(a_side), tid=TID_NET,
+                           cat="chaos", a=list(a_side), b=list(b_side))
+
+    def heal(self, a_side: NodeGroup, b_side: NodeGroup) -> None:
+        """Restore every (a, b) link between the two groups, now."""
+        self._require_network()
+        for a in a_side:
+            for b in b_side:
+                self.network.heal(a, b)
+        self.heals.append((self.sim.now, tuple(a_side), tuple(b_side)))
+        self._c_heals.inc()
+        tracer = self.obs.tracer
+        if tracer:
+            tracer.instant("chaos.heal", pid=min(a_side), tid=TID_NET,
+                           cat="chaos", a=list(a_side), b=list(b_side))
+
+    def partition_at(self, a_side: NodeGroup, b_side: NodeGroup,
+                     time_us: float, heal_at_us: Optional[float] = None) -> None:
+        """Schedule a partition (and, optionally, its heal)."""
+        a_side, b_side = tuple(a_side), tuple(b_side)
+        self.sim.call_at(time_us, self.partition, a_side, b_side)
+        if heal_at_us is not None:
+            if heal_at_us <= time_us:
+                raise ValueError("heal must come after the partition")
+            self.sim.call_at(heal_at_us, self.heal, a_side, b_side)
+
+    # ----------------------------------------------------------- slowdowns
+
+    def slow(self, node: Node, factor: float) -> None:
+        """Gray failure: run ``node`` at ``factor``× CPU cost, now."""
+        node.set_slowdown(factor)
+        self.slowdowns.append((self.sim.now, node.node_id, factor))
+        if factor != 1.0:
+            self._c_slowdowns.inc()
+        tracer = self.obs.tracer
+        if tracer:
+            tracer.instant("chaos.slow", pid=node.node_id, tid=TID_NET,
+                           cat="chaos", factor=factor)
+
+    def slow_at(self, node: Node, factor: float, time_us: float,
+                until_us: Optional[float] = None) -> None:
+        """Schedule a slowdown window (restored to full speed at
+        ``until_us`` when given)."""
+        self.sim.call_at(time_us, self.slow, node, factor)
+        if until_us is not None:
+            if until_us <= time_us:
+                raise ValueError("slowdown end must come after its start")
+            self.sim.call_at(until_us, self.slow, node, 1.0)
+
+    # --------------------------------------------------------------- helper
+
+    def _require_network(self) -> None:
+        if self.network is None:
+            raise RuntimeError("this FailureInjector has no network attached")

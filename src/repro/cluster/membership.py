@@ -16,7 +16,7 @@ on the new view, the dead node can no longer be acting on the old one.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..net.message import NodeId
 from ..sim.kernel import Simulator
@@ -47,6 +47,11 @@ class MembershipService:
         self.params = params
         self.nodes: Dict[NodeId, Node] = {n.node_id: n for n in nodes}
         self.view = View(1, frozenset(self.nodes))
+        #: Optional fault hook: ``fn(node_id) -> True`` drops that
+        #: heartbeat in flight.  Lets chaos tests exercise the detector's
+        #: ability to distinguish lost heartbeats from real crashes (a node
+        #: is only suspected after ``3 * heartbeat_us`` of silence).
+        self.heartbeat_drop_fn: Optional[Callable[[NodeId], bool]] = None
         self._last_heartbeat: Dict[NodeId, float] = {nid: 0.0 for nid in self.nodes}
         self._suspected: Dict[NodeId, float] = {}  # node -> lease-expiry time
         self._pending_install: Optional[float] = None
@@ -65,8 +70,10 @@ class MembershipService:
     def _heartbeat_loop(self, node: Node):
         wire = self.params.net.wire_latency_us
         while node.alive:
-            # Heartbeat reaches the service one wire latency later.
-            self.sim.call_after(wire, self._record_heartbeat, node.node_id)
+            # Heartbeat reaches the service one wire latency later (unless
+            # the fault hook loses it on the way).
+            if self.heartbeat_drop_fn is None or not self.heartbeat_drop_fn(node.node_id):
+                self.sim.call_after(wire, self._record_heartbeat, node.node_id)
             yield self.params.heartbeat_us
 
     def _record_heartbeat(self, node_id: NodeId) -> None:

@@ -115,6 +115,21 @@ class Node:
             proc.kill()
         self._processes.clear()
 
+    def set_slowdown(self, factor: float) -> None:
+        """Gray failure: multiply every CPU cost on this node by ``factor``
+        (1.0 restores full speed).  The node stays alive and correct — just
+        slow — which is exactly the failure mode lease-based detection has
+        the hardest time with."""
+        if factor <= 0:
+            raise ValueError(f"bad slowdown factor {factor}")
+        self.pool.speed_factor = factor
+        for cpu in self.app_cpus:
+            cpu.speed_factor = factor
+
+    @property
+    def slowdown(self) -> float:
+        return self.pool.speed_factor
+
     # --------------------------------------------------------- view change
 
     def add_view_listener(self, fn: Callable[[int, frozenset], None]) -> None:
@@ -126,8 +141,13 @@ class Node:
             return
         if self.live_nodes and epoch <= self.epoch:
             return
+        removed = self.live_nodes - live
         self.epoch = epoch
         self.live_nodes = live
+        # Only once membership has spoken may the reliable layer discard
+        # channel state toward a peer (a give-up alone might be a partition).
+        for peer in removed:
+            self.transport.on_peer_removed(peer)
         for fn in self._view_listeners:
             fn(epoch, live)
 

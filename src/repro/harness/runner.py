@@ -5,6 +5,7 @@ to explore the system:
 
 * ``python -m repro quickstart``            — the README tour
 * ``python -m repro verify [--seeds N]``    — model checkers + explorer
+* ``python -m repro chaos [--seeds N]``     — chaos campaign + audits
 * ``python -m repro locality``              — the §8 locality analyses
 * ``python -m repro smallbank [--remote F]``— one Zeus-vs-baseline point
 * ``python -m repro trace [--out F]``       — capture a Chrome trace
@@ -59,6 +60,66 @@ def _cmd_verify(args) -> int:
           and not swept.nonquiescent)
     print("verdict         :", "OK" if ok else "FAILED")
     return 0 if ok else 1
+
+
+def _cmd_chaos(args) -> int:
+    """Run a schedule × seed chaos campaign and audit every run."""
+    from ..chaos import (
+        CampaignConfig,
+        generate_schedule,
+        run_campaign,
+        run_chaos_once,
+    )
+    from ..obs import Observability, Tracer, write_chrome_trace, write_metrics
+
+    cfg = CampaignConfig(
+        num_nodes=args.nodes,
+        num_objects=args.objects,
+        duration_us=args.duration,
+        quiesce_us=args.quiesce,
+        num_schedules=args.schedules,
+        seeds=tuple(range(args.seeds)),
+        difficulty=args.difficulty,
+        schedule_seed_base=args.schedule_seed_base,
+    )
+
+    if args.show_schedules:
+        for i in range(cfg.num_schedules):
+            schedule = generate_schedule(
+                cfg.num_nodes, cfg.duration_us,
+                seed=cfg.schedule_seed_base + i,
+                difficulty=cfg.difficulty, require_crash=(i == 0))
+            print(schedule.describe())
+        return 0
+
+    if args.trace:
+        # Trace the first grid cell (fault instants included) on the side.
+        schedule = generate_schedule(
+            cfg.num_nodes, cfg.duration_us, seed=cfg.schedule_seed_base,
+            difficulty=cfg.difficulty, require_crash=True)
+        obs = Observability(tracer=Tracer())
+        run_chaos_once(schedule, cfg.seeds[0], cfg, obs=obs)
+        write_chrome_trace(obs.tracer, args.trace)
+        print(f"wrote Chrome trace of {schedule.name} seed {cfg.seeds[0]}: "
+              f"{args.trace}")
+
+    def progress(report) -> None:
+        verdict = "ok" if report.ok else "FAILED"
+        print(f"  {report.schedule_name:<16} seed {report.seed}: {verdict:>6}  "
+              f"{report.committed:>6} committed, {report.aborted} aborted  "
+              f"[{', '.join(report.timeline)}]")
+
+    print(f"chaos campaign: {cfg.num_schedules} schedules x "
+          f"{len(cfg.seeds)} seeds, difficulty {cfg.difficulty}, "
+          f"{cfg.num_nodes} nodes")
+    result = run_campaign(cfg, progress=progress)
+    print()
+    print(result.summary())
+    if args.metrics_out:
+        write_metrics(result.registry, args.metrics_out)
+        print(f"wrote campaign metrics: {args.metrics_out}")
+    print("verdict         :", "OK" if result.ok else "FAILED")
+    return 0 if result.ok else 1
 
 
 def _cmd_locality(_args) -> int:
@@ -208,6 +269,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_verify.add_argument("--seeds", type=int, default=20)
     p_verify.add_argument("--txns", type=int, default=15)
 
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-schedule campaign with invariant audits")
+    p_chaos.add_argument("--schedules", type=int, default=3,
+                         help="generated schedules (default %(default)s)")
+    p_chaos.add_argument("--seeds", type=int, default=3,
+                         help="run seeds per schedule (default %(default)s)")
+    p_chaos.add_argument("--difficulty", type=int, default=3,
+                         choices=(1, 2, 3),
+                         help="scenario severity (default %(default)s)")
+    p_chaos.add_argument("--nodes", type=int, default=4)
+    p_chaos.add_argument("--objects", type=int, default=8)
+    p_chaos.add_argument("--duration", type=float, default=30_000.0,
+                         help="workload window in us (default %(default)s)")
+    p_chaos.add_argument("--quiesce", type=float, default=30_000.0,
+                         help="drain window before audit (default %(default)s)")
+    p_chaos.add_argument("--schedule-seed-base", type=int, default=100)
+    p_chaos.add_argument("--show-schedules", action="store_true",
+                         help="print the generated fault timelines and exit")
+    p_chaos.add_argument("--trace", metavar="FILE", default=None,
+                         help="Chrome trace of the first cell (chaos instants)")
+    p_chaos.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="dump campaign chaos.* metrics as JSON")
+
     sub.add_parser("locality", help="§8 locality analyses")
 
     p_small = sub.add_parser("smallbank", help="one Zeus-vs-FaSST point")
@@ -239,6 +323,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "quickstart": _cmd_quickstart,
         "verify": _cmd_verify,
+        "chaos": _cmd_chaos,
         "locality": _cmd_locality,
         "smallbank": _cmd_smallbank,
         "trace": _cmd_trace,

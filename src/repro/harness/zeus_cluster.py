@@ -79,7 +79,8 @@ class ZeusCluster:
             self.obs.tracer.sim = self.sim
         self._install_stats_hook()
 
-        faults = FaultInjector(self.params.faults, self.rng.stream("net.faults"))
+        faults = FaultInjector(self.params.faults, self.rng.stream("net.faults"),
+                               registry=self.obs.registry)
         self.network = Network(self.sim, self.params.net, faults,
                                jitter_rng=self.rng.stream("net.jitter"),
                                obs=self.obs)
@@ -103,7 +104,7 @@ class ZeusCluster:
 
         self.nodes = [h.node for h in self.handles]
         self.membership = MembershipService(self.sim, self.params, self.nodes)
-        self.failures = FailureInjector(self.sim)
+        self.failures = FailureInjector(self.sim, self.network, obs=self.obs)
         self._loaded = False
 
     def _install_stats_hook(self) -> None:
@@ -162,6 +163,32 @@ class ZeusCluster:
             self.failures.crash_now(node)
         else:
             self.failures.crash_at(node, at)
+
+    def partition(self, a_side, b_side, at: Optional[float] = None,
+                  heal_at: Optional[float] = None) -> None:
+        """Sever every link between two node groups (optionally scheduled,
+        optionally healing later)."""
+        if at is None:
+            self.failures.partition(tuple(a_side), tuple(b_side))
+            if heal_at is not None:
+                self.sim.call_at(heal_at, self.failures.heal,
+                                 tuple(a_side), tuple(b_side))
+        else:
+            self.failures.partition_at(a_side, b_side, at, heal_at)
+
+    def heal(self, a_side, b_side) -> None:
+        self.failures.heal(tuple(a_side), tuple(b_side))
+
+    def slow(self, node_id: int, factor: float, at: Optional[float] = None,
+             until: Optional[float] = None) -> None:
+        """Gray-degrade a node's CPUs by ``factor`` (optionally windowed)."""
+        node = self.nodes[node_id]
+        if at is None:
+            self.failures.slow(node, factor)
+            if until is not None:
+                self.sim.call_at(until, self.failures.slow, node, 1.0)
+        else:
+            self.failures.slow_at(node, factor, at, until)
 
     # ------------------------------------------------------------- queries
 

@@ -4,6 +4,13 @@ Zeus assumes a partially synchronous network where messages can be lost,
 duplicated and reordered (Section 3.1).  The injector sits *below* the
 reliable messaging layer, so experiments can verify that the reliable layer
 (and, independently, the idempotent protocol design) masks these faults.
+
+The injector's :class:`FaultParams` may be swapped at any simulated time
+(``injector.params = ...``): the chaos layer uses this to run *windowed*
+fault bursts — a clean baseline with high-loss or high-reorder intervals —
+rather than a single static rate for the whole run.  When a
+:class:`~repro.obs.MetricsRegistry` is supplied, every decision is mirrored
+into ``faults.*`` counters.
 """
 
 from __future__ import annotations
@@ -33,9 +40,13 @@ _CLEAN = FaultDecision()
 class FaultInjector:
     """Applies :class:`FaultParams` to each message using a dedicated RNG."""
 
-    def __init__(self, params: FaultParams, rng: Optional[random.Random] = None):
+    def __init__(self, params: FaultParams, rng: Optional[random.Random] = None,
+                 registry=None):
         self.params = params
         self.rng = rng or random.Random(0)
+        self._c_dropped = registry.counter("faults.dropped") if registry else None
+        self._c_duplicated = registry.counter("faults.duplicated") if registry else None
+        self._c_reordered = registry.counter("faults.reordered") if registry else None
         self.dropped = 0
         self.duplicated = 0
         self.reordered = 0
@@ -55,12 +66,18 @@ class FaultInjector:
         if p.duplicate_prob > 0 and rng.random() < p.duplicate_prob:
             duplicates = 1
         extra = 0.0
-        if p.reorder_max_us > 0 and rng.random() < 0.5:
+        if p.reorder_max_us > 0 and rng.random() < p.reorder_prob:
             extra = rng.random() * p.reorder_max_us
         if drop:
             self.dropped += 1
+            if self._c_dropped is not None:
+                self._c_dropped.inc()
         if duplicates:
             self.duplicated += 1
+            if self._c_duplicated is not None:
+                self._c_duplicated.inc()
         if extra > 0:
             self.reordered += 1
+            if self._c_reordered is not None:
+                self._c_reordered.inc()
         return FaultDecision(drop, duplicates, extra)

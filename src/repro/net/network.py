@@ -47,6 +47,8 @@ class Network:
         self._endpoints: Dict[NodeId, DeliverFn] = {}
         self._down: Set[NodeId] = set()
         self._partitioned: Set[Tuple[NodeId, NodeId]] = set()
+        #: Per-directed-link latency multiplier (>1 = degraded link).
+        self._degraded: Dict[Tuple[NodeId, NodeId], float] = {}
         # --------- accounting
         self.bytes_sent: Dict[Tuple[NodeId, NodeId], int] = defaultdict(int)
         self.msgs_sent: Dict[Tuple[NodeId, NodeId], int] = defaultdict(int)
@@ -84,6 +86,22 @@ class Network:
     def heal(self, a: NodeId, b: NodeId) -> None:
         self._partitioned.discard((a, b))
         self._partitioned.discard((b, a))
+
+    def is_partitioned(self, a: NodeId, b: NodeId) -> bool:
+        return (a, b) in self._partitioned
+
+    def degrade(self, a: NodeId, b: NodeId, latency_factor: float) -> None:
+        """Multiply the (a, b) link's latency in both directions (a gray
+        network failure: the link works, just slowly)."""
+        if latency_factor <= 0:
+            raise ValueError(f"bad latency factor {latency_factor}")
+        self._degraded[(a, b)] = latency_factor
+        self._degraded[(b, a)] = latency_factor
+
+    def restore(self, a: NodeId, b: NodeId) -> None:
+        """Undo :meth:`degrade` for the (a, b) pair."""
+        self._degraded.pop((a, b), None)
+        self._degraded.pop((b, a), None)
 
     # ------------------------------------------------------------- sending
 
@@ -139,6 +157,9 @@ class Network:
             tracer.instant("net.send", pid=msg.src, tid=TID_NET, cat="net",
                            dst=msg.dst, kind=msg.kind, size=msg.size_bytes)
         base = self.latency(msg.size_bytes) + extra_delay
+        factor = self._degraded.get((msg.src, msg.dst))
+        if factor is not None:
+            base *= factor
         for i in range(copies):
             # Duplicates trail the original slightly.
             self.sim.call_after(base + i * 0.5, self._deliver, msg)

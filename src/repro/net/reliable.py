@@ -38,13 +38,19 @@ DeliverFn = Callable[[Message], None]
 class _SendChannel:
     """Sender-side state toward one peer."""
 
-    __slots__ = ("next_seq", "unacked", "timer", "retries")
+    __slots__ = ("next_seq", "unacked", "timer", "retries", "probing")
 
     def __init__(self) -> None:
         self.next_seq = 0
         self.unacked: Dict[int, Message] = {}
         self.timer: Optional[EventHandle] = None
         self.retries = 0
+        #: Retransmit budget exhausted: the peer is either dead (membership
+        #: will remove it) or unreachable (a partition that may heal).  We
+        #: keep the unacked buffer and probe slowly until one or the other
+        #: resolves; clearing state here would permanently desynchronize the
+        #: channel if the peer was merely partitioned.
+        self.probing = False
 
 
 class _RecvChannel:
@@ -78,6 +84,8 @@ class ReliableTransport:
                                                    node=node_id)
         self._c_acks_sent = registry.counter("net.acks_sent", node=node_id)
         self._c_gave_up = registry.counter("net.gave_up", node=node_id)
+        self._c_probes = registry.counter("net.probes", node=node_id)
+        self._c_resets = registry.counter("net.channel_resets", node=node_id)
         network.attach(node_id, self._on_wire)
 
     @property
@@ -129,9 +137,9 @@ class ReliableTransport:
 
     def _arm_retransmit(self, dst: NodeId, chan: _SendChannel) -> None:
         if chan.timer is None and chan.unacked:
-            chan.timer = self.sim.call_after(
-                self.params.retransmit_timeout_us, self._retransmit, dst
-            )
+            interval = (self.params.probe_interval_us if chan.probing
+                        else self.params.retransmit_timeout_us)
+            chan.timer = self.sim.call_after(interval, self._retransmit, dst)
 
     def _retransmit(self, dst: NodeId) -> None:
         chan = self._send.get(dst)
@@ -140,23 +148,35 @@ class ReliableTransport:
         chan.timer = None
         if not chan.unacked:
             chan.retries = 0
+            chan.probing = False
             return
         chan.retries += 1
-        if chan.retries > self.params.max_retransmits:
-            # Peer is almost certainly dead; stop retrying and let the
-            # membership service's failure detection take over.
+        if chan.retries > self.params.max_retransmits and not chan.probing:
+            # Retransmit budget exhausted.  If the peer is dead, membership
+            # failure detection removes it and :meth:`on_peer_removed`
+            # discards this state; if it is merely partitioned, the slow
+            # probe below re-establishes the channel once the link heals.
             self._c_gave_up.inc()
-            chan.unacked.clear()
-            chan.retries = 0
-            return
+            chan.probing = True
         tracer = self.obs.tracer
-        for seq in sorted(chan.unacked):
-            self._c_retransmissions.inc()
+        if chan.probing:
+            # Probe with only the lowest outstanding message: enough for the
+            # peer to (re-)ack and resynchronize, without blasting the whole
+            # go-back-N window into a black hole every interval.
+            seq = min(chan.unacked)
+            self._c_probes.inc()
             if tracer:
-                tracer.instant("net.retransmit", pid=self.node_id,
-                               tid=TID_NET, cat="net", dst=dst, seq=seq,
-                               attempt=chan.retries)
+                tracer.instant("net.probe", pid=self.node_id, tid=TID_NET,
+                               cat="net", dst=dst, seq=seq)
             self.network.send(chan.unacked[seq])
+        else:
+            for seq in sorted(chan.unacked):
+                self._c_retransmissions.inc()
+                if tracer:
+                    tracer.instant("net.retransmit", pid=self.node_id,
+                                   tid=TID_NET, cat="net", dst=dst, seq=seq,
+                                   attempt=chan.retries)
+                self.network.send(chan.unacked[seq])
         self._arm_retransmit(dst, chan)
 
     # ------------------------------------------------------------- receive
@@ -212,12 +232,27 @@ class ReliableTransport:
         for seq in [s for s in chan.unacked if s < cumulative]:
             del chan.unacked[seq]
         chan.retries = 0
+        chan.probing = False  # the peer is reachable again
         if chan.timer is not None:
             chan.timer.cancel()
             chan.timer = None
         self._arm_retransmit(src, chan)
 
     # ----------------------------------------------------------- lifecycle
+
+    def on_peer_removed(self, peer: NodeId) -> None:
+        """Membership removed ``peer``: only now is it safe to discard the
+        channel (the peer is crash-stop gone, never coming back)."""
+        chan = self._send.pop(peer, None)
+        if chan is not None:
+            if chan.timer is not None:
+                chan.timer.cancel()
+            if chan.unacked:
+                self._c_resets.inc()
+            chan.unacked.clear()
+        rchan = self._recv.pop(peer, None)
+        if rchan is not None and rchan.ack_timer is not None:
+            rchan.ack_timer.cancel()
 
     def stop(self) -> None:
         """Crash-stop: cancel all timers, drop all state."""

@@ -40,6 +40,10 @@ class NetParams:
     #: Maximum retransmissions before the link layer gives up and lets the
     #: failure detector take over.
     max_retransmits: int = 50
+    #: After giving up, the channel probes the peer at this interval so a
+    #: healed partition (unlike a crash) resumes delivery; state is only
+    #: discarded when membership actually removes the peer.
+    probe_interval_us: float = 400.0
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,9 @@ class FaultParams:
     duplicate_prob: float = 0.0
     #: Max extra delay for reordering (µs); 0 disables.
     reorder_max_us: float = 0.0
+    #: Probability a message is delayed (by up to ``reorder_max_us``) when
+    #: reordering is enabled.
+    reorder_prob: float = 0.5
 
 
 @dataclass(frozen=True)

@@ -27,13 +27,15 @@ class CpuServer:
     already queued and returns a future completing when it is done.
     """
 
-    __slots__ = ("sim", "name", "_free_at", "busy_time")
+    __slots__ = ("sim", "name", "_free_at", "busy_time", "speed_factor")
 
     def __init__(self, sim: Simulator, name: str = "cpu"):
         self.sim = sim
         self.name = name
         self._free_at = 0.0
         self.busy_time = 0.0  # total work charged, for utilization metrics
+        #: Cost multiplier (>1 = degraded core; chaos gray-failure knob).
+        self.speed_factor = 1.0
 
     @property
     def free_at(self) -> float:
@@ -47,6 +49,7 @@ class CpuServer:
         """Charge ``cost`` µs of work; future completes at finish time."""
         if cost < 0:
             raise ValueError(f"negative cost {cost}")
+        cost *= self.speed_factor
         start = max(self.sim.now, self._free_at)
         end = start + cost
         self._free_at = end
@@ -61,6 +64,7 @@ class CpuServer:
         Used for fire-and-forget message handling where nothing waits on the
         handler but the worker's queueing delay must still accrue.
         """
+        cost *= self.speed_factor
         start = max(self.sim.now, self._free_at)
         self._free_at = start + cost
         self.busy_time += cost
@@ -74,7 +78,8 @@ class CpuPool:
     message is handled by whichever worker frees first.
     """
 
-    __slots__ = ("sim", "name", "_free_heap", "busy_time", "size")
+    __slots__ = ("sim", "name", "_free_heap", "busy_time", "size",
+                 "speed_factor")
 
     def __init__(self, sim: Simulator, size: int, name: str = "pool"):
         if size < 1:
@@ -85,6 +90,8 @@ class CpuPool:
         self._free_heap: List[float] = [0.0] * size
         heapq.heapify(self._free_heap)
         self.busy_time = 0.0
+        #: Cost multiplier (>1 = degraded node; chaos gray-failure knob).
+        self.speed_factor = 1.0
 
     def utilization(self, elapsed: float) -> float:
         total = elapsed * self.size
@@ -104,6 +111,7 @@ class CpuPool:
     def _assign(self, cost: float) -> float:
         if cost < 0:
             raise ValueError(f"negative cost {cost}")
+        cost *= self.speed_factor
         earliest = heapq.heappop(self._free_heap)
         start = max(self.sim.now, earliest)
         end = start + cost

@@ -1,9 +1,23 @@
-"""Protocol verification: invariants, schedule explorer, abstract models."""
+"""Protocol verification: invariants, audits, explorer, abstract models."""
 
+from .audit import (
+    AuditReport,
+    CommitLedger,
+    audit_epochs,
+    audit_exactly_once,
+    audit_liveness,
+    audit_run,
+    audit_safety,
+)
 from .checker import CheckResult, bfs_check
 from .commit_model import check_commit_model
 from .explorer import ExplorationResult, ExplorerConfig, explore
-from .invariants import InvariantViolation, check_invariants, check_quiescent
+from .invariants import (
+    InvariantViolation,
+    check_invariants,
+    check_quiescent,
+    quiescence_problems,
+)
 from .ownership_model import check_ownership_model
 
 __all__ = [
@@ -13,8 +27,16 @@ __all__ = [
     "check_commit_model",
     "check_invariants",
     "check_quiescent",
+    "quiescence_problems",
     "InvariantViolation",
     "explore",
     "ExplorerConfig",
     "ExplorationResult",
+    "AuditReport",
+    "CommitLedger",
+    "audit_run",
+    "audit_safety",
+    "audit_exactly_once",
+    "audit_epochs",
+    "audit_liveness",
 ]

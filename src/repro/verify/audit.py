@@ -1,0 +1,203 @@
+"""Post-run invariant audits for chaos campaigns.
+
+After a chaos run drains, four independent audits decide whether the
+history was correct *and* the system recovered:
+
+1. **safety** — the paper's state invariants (single owner, valid-replica
+   consistency, owner freshness, directory agreement), via the existing
+   :mod:`repro.verify.invariants` checkers;
+2. **exactly-once** — committed counter increments are applied exactly
+   once: with no crash, every object's final value equals the number of
+   committed increments the driver recorded for it (a lost application
+   shows up as a deficit, a duplicated one as an excess); with a crash,
+   commits recorded by *surviving* coordinators are a hard lower bound
+   (replication degree ≥ 2 keeps them reachable), while the crashed node's
+   own last in-flight pipeline slots may be lost before any follower
+   applied them — the paper's stated semantics for coordinator failure;
+3. **epoch** — every live node agrees with the membership service on the
+   current epoch and live set, and directory replicas agree;
+4. **liveness** — nothing is wedged at quiesce: no reliable channel from a
+   live node to a live peer still holds unacked messages, no coordinator
+   pipeline slot is pending, no applied-but-unvalidated follower state
+   remains, no object is stuck in a non-Valid t_state.  (A pending
+   arbitration whose requester gave up and aborted is tolerated — the
+   transaction itself is not stuck.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..harness.zeus_cluster import ZeusCluster
+from .invariants import check_invariants, quiescence_problems
+
+__all__ = ["CommitLedger", "AuditReport", "audit_run",
+           "audit_safety", "audit_exactly_once", "audit_epochs",
+           "audit_liveness"]
+
+
+class CommitLedger:
+    """Driver-side record of committed increments, per coordinator node.
+
+    The workload records every commit it observed; the exactly-once audit
+    compares the record against the final datastore state.
+    """
+
+    __slots__ = ("by_node",)
+
+    def __init__(self) -> None:
+        #: coordinator node -> oid -> committed increments
+        self.by_node: Dict[int, Dict[int, int]] = {}
+
+    def record(self, node_id: int, write_set: Sequence[int]) -> None:
+        per = self.by_node.setdefault(node_id, {})
+        for oid in write_set:
+            per[oid] = per.get(oid, 0) + 1
+
+    def total(self, oid: int) -> int:
+        return sum(per.get(oid, 0) for per in self.by_node.values())
+
+    def total_from(self, oid: int, nodes) -> int:
+        return sum(per.get(oid, 0) for nid, per in self.by_node.items()
+                   if nid in nodes)
+
+    @property
+    def committed(self) -> int:
+        return sum(sum(per.values()) for per in self.by_node.values())
+
+
+class AuditReport:
+    """Outcome of all four audits for one run."""
+
+    __slots__ = ("safety", "exactly_once", "epoch", "liveness")
+
+    def __init__(self, safety: List[str], exactly_once: List[str],
+                 epoch: List[str], liveness: List[str]):
+        self.safety = safety
+        self.exactly_once = exactly_once
+        self.epoch = epoch
+        self.liveness = liveness
+
+    @property
+    def ok(self) -> bool:
+        return not (self.safety or self.exactly_once or self.epoch
+                    or self.liveness)
+
+    def problems(self) -> List[Tuple[str, str]]:
+        out: List[Tuple[str, str]] = []
+        for name in ("safety", "exactly_once", "epoch", "liveness"):
+            out.extend((name, p) for p in getattr(self, name))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        status = "OK" if self.ok else f"{len(self.problems())} problems"
+        return f"AuditReport({status})"
+
+
+def _final_value(cluster: ZeusCluster, oid: int):
+    """The freshest value any live replica holds for ``oid``."""
+    best_version, best_value = -1, None
+    for h in cluster.handles:
+        if not h.node.alive:
+            continue
+        obj = h.store.get(oid)
+        if obj is not None and obj.t_version > best_version:
+            best_version, best_value = obj.t_version, obj.t_data
+    return best_value
+
+
+def audit_safety(cluster: ZeusCluster) -> List[str]:
+    try:
+        check_invariants(cluster)
+    except AssertionError as err:
+        return [str(err)]
+    return []
+
+
+def audit_exactly_once(cluster: ZeusCluster, ledger: CommitLedger,
+                       initial_value: int = 0) -> List[str]:
+    problems: List[str] = []
+    crashed = {nid for _t, nid in cluster.failures.crashed}
+    live = {h.node_id for h in cluster.handles if h.node.alive}
+    # Unrecorded commits can only come from a crashed coordinator's app
+    # threads, at most one per thread (the window between local commit and
+    # the driver recording it).
+    slack = len(crashed) * cluster.params.app_threads
+    for oid in range(cluster.catalog.num_objects):
+        value = _final_value(cluster, oid)
+        if not isinstance(value, int):
+            problems.append(f"object {oid}: non-counter value {value!r}")
+            continue
+        applied = value - initial_value
+        recorded = ledger.total(oid)
+        if not crashed:
+            if applied != recorded:
+                problems.append(
+                    f"object {oid}: {recorded} committed increments but "
+                    f"{applied} applied")
+            continue
+        floor = ledger.total_from(oid, live)
+        if applied < floor:
+            problems.append(
+                f"object {oid}: {floor} increments committed by surviving "
+                f"coordinators but only {applied} applied")
+        elif applied > recorded + slack:
+            problems.append(
+                f"object {oid}: {applied} applied exceeds {recorded} "
+                f"recorded + crash slack {slack} (duplicate application)")
+    return problems
+
+
+def audit_epochs(cluster: ZeusCluster) -> List[str]:
+    problems: List[str] = []
+    view = cluster.membership.view
+    for h in cluster.handles:
+        node = h.node
+        if not node.alive:
+            continue
+        if node.epoch != view.epoch:
+            problems.append(
+                f"node {node.node_id}: epoch {node.epoch} != installed "
+                f"view epoch {view.epoch}")
+        if node.live_nodes != view.live:
+            problems.append(
+                f"node {node.node_id}: live set {sorted(node.live_nodes)} "
+                f"!= view {sorted(view.live)}")
+    crashed = {nid for _t, nid in cluster.failures.crashed}
+    stale = crashed & set(view.live)
+    if stale and cluster.failures.crashed:
+        problems.append(
+            f"crashed nodes {sorted(stale)} still in the installed view "
+            f"(epoch {view.epoch})")
+    return problems
+
+
+def audit_liveness(cluster: ZeusCluster) -> List[str]:
+    problems: List[str] = []
+    alive = {h.node_id for h in cluster.handles if h.node.alive}
+    for h in cluster.handles:
+        if h.node_id not in alive:
+            continue
+        transport = h.node.transport
+        for peer, chan in transport._send.items():
+            if chan.unacked and peer in alive:
+                problems.append(
+                    f"node {h.node_id}: {len(chan.unacked)} unacked "
+                    f"messages stuck toward live peer {peer}")
+    for p in quiescence_problems(cluster):
+        # A lingering arbitration whose requester aborted is not a stuck
+        # transaction; everything else is a wedged protocol state.
+        if "pending arbitrations" not in p:
+            problems.append(p)
+    return problems
+
+
+def audit_run(cluster: ZeusCluster, ledger: CommitLedger,
+              initial_value: int = 0) -> AuditReport:
+    """Run all four audits against a drained cluster."""
+    return AuditReport(
+        safety=audit_safety(cluster),
+        exactly_once=audit_exactly_once(cluster, ledger, initial_value),
+        epoch=audit_epochs(cluster),
+        liveness=audit_liveness(cluster),
+    )

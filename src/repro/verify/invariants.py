@@ -24,7 +24,8 @@ from typing import List, Optional
 from ..harness.zeus_cluster import ZeusCluster
 from ..store.meta import OState, TState
 
-__all__ = ["check_invariants", "InvariantViolation", "check_quiescent"]
+__all__ = ["check_invariants", "InvariantViolation", "check_quiescent",
+           "quiescence_problems"]
 
 
 class InvariantViolation(AssertionError):
@@ -128,6 +129,15 @@ def check_quiescent(cluster: ZeusCluster) -> List[str]:
     Returns a list of problems (empty = fully converged); raising is left
     to the caller because some experiments legitimately end non-quiescent.
     """
+    problems = quiescence_problems(cluster)
+    check_invariants(cluster)
+    return problems
+
+
+def quiescence_problems(cluster: ZeusCluster) -> List[str]:
+    """The :func:`check_quiescent` problem list without the (raising)
+    invariant checks — chaos audits evaluate liveness and safety
+    separately."""
     problems: List[str] = []
     for h in _live_handles(cluster):
         if h.ownership._pending_arb:
@@ -147,5 +157,4 @@ def check_quiescent(cluster: ZeusCluster) -> List[str]:
                 problems.append(
                     f"node {h.node_id}: object {obj.oid} stuck {obj.t_state.name}")
                 break
-    check_invariants(cluster)
     return problems

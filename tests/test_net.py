@@ -247,14 +247,56 @@ def test_reliable_reorders_back_in_order():
     assert [m.payload for m in inbox_b] == list(range(30))
 
 
-def test_reliable_gives_up_on_dead_peer():
+def test_reliable_gives_up_then_probes_slowly():
+    # After max_retransmits the channel keeps its unacked buffer (the peer
+    # may be partitioned, not dead) and falls back to slow probing.
     sim = Simulator()
     net, a, b, _ia, _ib = make_pair(sim)
     net.set_down(1)
     a.send(1, "k", "void", 10)
-    sim.run(until=10_000_000)
-    assert a.gave_up >= 1
+    sim.run(until=1_000_000)
+    assert a.gave_up == 1
+    assert a.unacked_count() == 1  # state retained for a possible heal
+    # Probing is much slower than normal retransmission: about one probe
+    # per probe_interval_us, not one per retransmit_timeout_us.
+    params = NetParams()
+    probes = a.obs.registry.counter("net.probes", node=0).value
+    assert 0 < probes <= 1_000_000 / params.probe_interval_us + 1
+    assert a.retransmissions <= params.max_retransmits
+
+
+def test_reliable_resumes_after_partition_heals():
+    # Regression for the give-up stall: a sender that exhausted its
+    # retransmit budget during a partition must resynchronize and deliver
+    # everything once the partition heals.
+    sim = Simulator()
+    net, a, _b, _ia, inbox_b = make_pair(sim)
+    net.partition(0, 1)
+    for i in range(5):
+        a.send(1, "k", i, 10)
+    # Long enough for the channel to give up (50 * 40us) and start probing.
+    sim.run(until=100_000)
+    assert a.gave_up == 1
+    assert inbox_b == []
+    net.heal(0, 1)
+    a.send(1, "k", 5, 10)  # traffic after the heal must also arrive
+    sim.run(until=200_000)
+    assert [m.payload for m in inbox_b] == list(range(6))
     assert a.unacked_count() == 0
+
+
+def test_reliable_discards_state_when_membership_removes_peer():
+    sim = Simulator()
+    net, a, _b, _ia, _ib = make_pair(sim)
+    net.set_down(1)
+    a.send(1, "k", "void", 10)
+    sim.run(until=100_000)
+    assert a.unacked_count() == 1
+    a.on_peer_removed(1)
+    assert a.unacked_count() == 0
+    before = a.obs.registry.counter("net.probes", node=0).value
+    sim.run(until=1_000_000)  # probe timer must be gone
+    assert a.obs.registry.counter("net.probes", node=0).value == before
 
 
 def test_reliable_stop_cancels_timers():
