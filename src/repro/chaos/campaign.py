@@ -172,6 +172,7 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
     audit = audit_run(cluster, ledger, initial_value=0)
     failures = cluster.failures
     timeline = [f"crash(t={t:.0f},n{n})" for t, n in failures.crashed]
+    timeline += [f"recover(t={t:.0f},n{n})" for t, n in failures.recovered]
     timeline += [f"partition(t={t:.0f},{list(a)}|{list(b)})"
                  for t, a, b in failures.partitions]
     timeline += [f"heal(t={t:.0f},{list(a)}|{list(b)})"
@@ -211,6 +212,10 @@ def run_campaign(cfg: Optional[CampaignConfig] = None,
     cfg = cfg or CampaignConfig()
     result = CampaignResult()
     registry = result.registry
+    # Every run's cluster reports into the campaign registry, so the
+    # --metrics-out dump aggregates net/ownership/recovery.* counters
+    # across the whole grid, not just the chaos.* bookkeeping below.
+    obs = Observability(registry=registry)
     c_runs = registry.counter("chaos.runs")
     c_ok = registry.counter("chaos.runs_ok")
     c_failed = registry.counter("chaos.runs_failed")
@@ -227,7 +232,7 @@ def run_campaign(cfg: Optional[CampaignConfig] = None,
             require_crash=(i == 0),
         )
         for seed in cfg.seeds:
-            report = run_chaos_once(schedule, seed, cfg)
+            report = run_chaos_once(schedule, seed, cfg, obs)
             result.runs.append(report)
             c_runs.inc()
             c_committed.inc(report.committed)

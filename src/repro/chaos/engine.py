@@ -19,6 +19,7 @@ from .schedule import (
     FaultSchedule,
     FaultWindowEvent,
     PartitionEvent,
+    RecoverEvent,
     SlowdownEvent,
 )
 
@@ -49,6 +50,8 @@ class ChaosEngine:
             self._c_events.inc()
             if isinstance(ev, CrashEvent):
                 failures.crash_at(cluster.nodes[ev.node], ev.at_us)
+            elif isinstance(ev, RecoverEvent):
+                failures.recover_at(cluster.nodes[ev.node], ev.at_us)
             elif isinstance(ev, PartitionEvent):
                 failures.partition_at(ev.a_side, ev.b_side, ev.at_us,
                                       ev.heal_at_us)

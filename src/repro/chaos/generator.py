@@ -31,6 +31,7 @@ from .schedule import (
     FaultSchedule,
     FaultWindowEvent,
     PartitionEvent,
+    RecoverEvent,
     SlowdownEvent,
 )
 
@@ -49,6 +50,7 @@ def generate_schedule(num_nodes: int, horizon_us: float, seed: int,
                       difficulty: int = 2,
                       allow_crash: bool = True,
                       require_crash: bool = False,
+                      allow_recovery: bool = True,
                       name: Optional[str] = None) -> FaultSchedule:
     """Produce a validated, deterministic schedule for one run."""
     if not 1 <= difficulty <= 3:
@@ -106,6 +108,14 @@ def generate_schedule(num_nodes: int, horizon_us: float, seed: int,
         victim = rng.choice(nodes)
         events.append(CrashEvent(at_us=horizon_us * rng.uniform(0.10, 0.40),
                                  node=victim))
+        if difficulty >= 2 and allow_recovery:
+            # Crash→recover pair: the node reboots after every partition
+            # has healed (by 70%), exercising re-admission, state transfer
+            # and degree repair in the remaining tail + quiesce window.
+            # Drawn *after* the crash draw so difficulty-1 streams (and
+            # crash placement at any difficulty) are unchanged per seed.
+            events.append(RecoverEvent(
+                at_us=horizon_us * rng.uniform(0.72, 0.85), node=victim))
 
     schedule = FaultSchedule(events, name=name or f"gen-s{seed}-d{difficulty}")
     schedule.validate(num_nodes, horizon_us)

@@ -4,7 +4,11 @@ A :class:`FaultSchedule` is an ordered set of events against the simulated
 clock, covering the full fault model Zeus claims to survive (Sections 3.1,
 5, 6) plus the gray failures lease-based detection struggles with:
 
-* :class:`CrashEvent` — crash-stop a node (it never returns);
+* :class:`CrashEvent` — crash-stop a node (it never returns unless a
+  matching :class:`RecoverEvent` follows);
+* :class:`RecoverEvent` — restart a previously crashed node: reboot under
+  a fresh incarnation, re-admission, state transfer, and degree repair
+  (the full rejoin path in :mod:`repro.recovery`);
 * :class:`PartitionEvent` — sever every link between two node groups, and
   (optionally) heal it later — the case that distinguishes a correct
   reliable transport from one that silently desynchronizes;
@@ -26,7 +30,7 @@ from typing import Optional, Tuple, Union
 
 from ..sim.params import FaultParams
 
-__all__ = ["CrashEvent", "PartitionEvent", "SlowdownEvent",
+__all__ = ["CrashEvent", "RecoverEvent", "PartitionEvent", "SlowdownEvent",
            "FaultWindowEvent", "FaultSchedule", "ChaosEventType"]
 
 
@@ -37,6 +41,15 @@ class CrashEvent:
 
     def describe(self) -> str:
         return f"t={self.at_us:.0f}us crash node {self.node}"
+
+
+@dataclass(frozen=True)
+class RecoverEvent:
+    at_us: float
+    node: int
+
+    def describe(self) -> str:
+        return f"t={self.at_us:.0f}us recover node {self.node}"
 
 
 @dataclass(frozen=True)
@@ -81,8 +94,8 @@ class FaultWindowEvent:
                 f"reorder={p.reorder_max_us:g}us")
 
 
-ChaosEventType = Union[CrashEvent, PartitionEvent, SlowdownEvent,
-                       FaultWindowEvent]
+ChaosEventType = Union[CrashEvent, RecoverEvent, PartitionEvent,
+                       SlowdownEvent, FaultWindowEvent]
 
 
 class FaultSchedule:
@@ -106,6 +119,7 @@ class FaultSchedule:
     def validate(self, num_nodes: int, horizon_us: Optional[float] = None) -> None:
         """Raise ``ValueError`` on an impossible schedule."""
         windows = []
+        crashed_at: dict = {}
         for ev in self.events:
             if ev.at_us < 0:
                 raise ValueError(f"event before t=0: {ev.describe()}")
@@ -114,6 +128,14 @@ class FaultSchedule:
             if isinstance(ev, CrashEvent):
                 if not 0 <= ev.node < num_nodes:
                     raise ValueError(f"bad node in {ev.describe()}")
+                crashed_at[ev.node] = ev.at_us
+            elif isinstance(ev, RecoverEvent):
+                if not 0 <= ev.node < num_nodes:
+                    raise ValueError(f"bad node in {ev.describe()}")
+                when = crashed_at.pop(ev.node, None)
+                if when is None or ev.at_us <= when:
+                    raise ValueError(
+                        f"recovery without an earlier crash: {ev.describe()}")
             elif isinstance(ev, PartitionEvent):
                 nodes = set(ev.a_side) | set(ev.b_side)
                 if not ev.a_side or not ev.b_side:
@@ -147,6 +169,15 @@ class FaultSchedule:
     @property
     def crash_nodes(self) -> Tuple[int, ...]:
         return tuple(e.node for e in self.events if isinstance(e, CrashEvent))
+
+    @property
+    def recover_nodes(self) -> Tuple[int, ...]:
+        return tuple(e.node for e in self.events
+                     if isinstance(e, RecoverEvent))
+
+    @property
+    def has_recovery(self) -> bool:
+        return any(isinstance(e, RecoverEvent) for e in self.events)
 
     @property
     def has_partition(self) -> bool:

@@ -19,7 +19,7 @@ as deterministic as everything else in a run.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..net.network import Network
 from ..obs import Observability, TID_NET
@@ -45,10 +45,22 @@ class FailureInjector:
         self._c_partitions = registry.counter("faults.partitions")
         self._c_heals = registry.counter("faults.heals")
         self._c_slowdowns = registry.counter("faults.slowdowns")
+        self._c_recoveries = registry.counter("faults.recoveries")
         self.crashed: List[Tuple[float, int]] = []
+        self.recovered: List[Tuple[float, int]] = []
         self.partitions: List[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = []
         self.heals: List[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = []
         self.slowdowns: List[Tuple[float, int, float]] = []
+        #: Hook performing the actual restart + readmit + state transfer.
+        #: The harness (:class:`ZeusCluster`) installs this; without it,
+        #: :meth:`recover_now` raises (crash-stop only, no rejoin path).
+        self.recover_fn: Optional[Callable[[Node], None]] = None
+        # Active slowdown windows per node, in application order.  Each entry
+        # is (token, factor); ending a window removes *its* token and applies
+        # whatever window remains, so overlapping windows nest instead of an
+        # early end clobbering a later window's factor with 1.0.
+        self._slow_windows: Dict[int, List[Tuple[int, float]]] = {}
+        self._slow_token = 0
 
     # -------------------------------------------------------------- crashes
 
@@ -71,6 +83,29 @@ class FailureInjector:
             if tracer:
                 tracer.instant("chaos.crash", pid=node.node_id, tid=TID_NET,
                                cat="chaos")
+
+    # ------------------------------------------------------------- recovery
+
+    def recover_at(self, node: Node, time_us: float) -> None:
+        """Restart ``node`` and begin its rejoin at ``time_us``."""
+        self.sim.call_at(time_us, self.recover_now, node)
+
+    def recover_now(self, node: Node) -> None:
+        if node.alive:
+            return
+        if self.recover_fn is None:
+            raise RuntimeError("no recover_fn installed (harness not wired "
+                               "for rejoin)")
+        # A reboot comes back at full speed: discard any slowdown windows
+        # that straddled the crash (their pending ends become no-ops).
+        self._slow_windows.pop(node.node_id, None)
+        self.recover_fn(node)
+        self.recovered.append((self.sim.now, node.node_id))
+        self._c_recoveries.inc()
+        tracer = self.obs.tracer
+        if tracer:
+            tracer.instant("chaos.recover", pid=node.node_id, tid=TID_NET,
+                           cat="chaos", inc=node.incarnation)
 
     # ----------------------------------------------------------- partitions
 
@@ -125,13 +160,31 @@ class FailureInjector:
 
     def slow_at(self, node: Node, factor: float, time_us: float,
                 until_us: Optional[float] = None) -> None:
-        """Schedule a slowdown window (restored to full speed at
-        ``until_us`` when given)."""
-        self.sim.call_at(time_us, self.slow, node, factor)
+        """Schedule a slowdown window (restored at ``until_us`` when given).
+
+        Windows are tracked per node so overlaps nest: when one window ends,
+        the node drops back to the most recent *still-open* window's factor
+        (or 1.0 if none), instead of an early end unconditionally resetting
+        a later-applied slowdown."""
+        if until_us is not None and until_us <= time_us:
+            raise ValueError("slowdown end must come after its start")
+        self._slow_token += 1
+        token = self._slow_token
+        self.sim.call_at(time_us, self._begin_window, node, token, factor)
         if until_us is not None:
-            if until_us <= time_us:
-                raise ValueError("slowdown end must come after its start")
-            self.sim.call_at(until_us, self.slow, node, 1.0)
+            self.sim.call_at(until_us, self._end_window, node, token)
+
+    def _begin_window(self, node: Node, token: int, factor: float) -> None:
+        self._slow_windows.setdefault(node.node_id, []).append((token, factor))
+        self.slow(node, factor)
+
+    def _end_window(self, node: Node, token: int) -> None:
+        windows = self._slow_windows.get(node.node_id, [])
+        remaining = [(t, f) for t, f in windows if t != token]
+        if len(remaining) == len(windows):
+            return  # window already discarded (e.g. node restarted fresh)
+        self._slow_windows[node.node_id] = remaining
+        self.slow(node, remaining[-1][1] if remaining else 1.0)
 
     # --------------------------------------------------------------- helper
 

@@ -12,6 +12,12 @@ Nodes renew leases via periodic heartbeats; the service declares a node
 failed only after its lease lapses, then waits a full lease interval before
 installing the new epoch — guaranteeing that by the time any live node acts
 on the new view, the dead node can no longer be acting on the old one.
+
+Rejoin is symmetric: :meth:`MembershipService.admit` waits for the crashed
+node's eviction view plus a full lease interval before installing a view
+that re-adds it under a bumped **incarnation number**, so every live node
+learns the fresh incarnation (and fences the old one) before the rejoiner
+may participate.
 """
 
 from __future__ import annotations
@@ -29,11 +35,14 @@ __all__ = ["MembershipService", "View"]
 class View:
     """An installed membership view."""
 
-    __slots__ = ("epoch", "live")
+    __slots__ = ("epoch", "live", "incarnations")
 
-    def __init__(self, epoch: int, live: frozenset):
+    def __init__(self, epoch: int, live: frozenset,
+                 incarnations: Optional[Dict[NodeId, int]] = None):
         self.epoch = epoch
         self.live = live
+        #: Incarnation number of each live member at install time.
+        self.incarnations: Dict[NodeId, int] = dict(incarnations or {})
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"View(e={self.epoch}, live={sorted(self.live)})"
@@ -46,7 +55,8 @@ class MembershipService:
         self.sim = sim
         self.params = params
         self.nodes: Dict[NodeId, Node] = {n.node_id: n for n in nodes}
-        self.view = View(1, frozenset(self.nodes))
+        self.view = View(1, frozenset(self.nodes),
+                         {n.node_id: n.incarnation for n in nodes})
         #: Optional fault hook: ``fn(node_id) -> True`` drops that
         #: heartbeat in flight.  Lets chaos tests exercise the detector's
         #: ability to distinguish lost heartbeats from real crashes (a node
@@ -57,7 +67,8 @@ class MembershipService:
         self._pending_install: Optional[float] = None
         self.view_history: List[View] = [self.view]
         for node in nodes:
-            node.on_view_change(self.view.epoch, self.view.live)
+            node.on_view_change(self.view.epoch, self.view.live,
+                                self.view.incarnations)
 
     def start(self) -> None:
         """Begin heartbeat collection and the detector scan loop."""
@@ -77,6 +88,11 @@ class MembershipService:
             yield self.params.heartbeat_us
 
     def _record_heartbeat(self, node_id: NodeId) -> None:
+        # Fence at the detector too: a heartbeat from an evicted node (in
+        # flight at eviction, or a zombie that has not noticed it is dead)
+        # must not resurrect detector state for a non-member.
+        if node_id not in self.view.live:
+            return
         self._last_heartbeat[node_id] = self.sim.now
 
     # ------------------------------------------------------------ detector
@@ -104,12 +120,50 @@ class MembershipService:
         for nid in expired:
             del self._suspected[nid]
         live = frozenset(self.view.live - expired)
-        self.view = View(self.view.epoch + 1, live)
+        # Prune per-node detector state for evicted members; stale entries
+        # would otherwise accumulate forever and (worse) a later heartbeat
+        # from a zombie would refresh a lease the view no longer grants.
+        for nid in expired:
+            self._last_heartbeat.pop(nid, None)
+        self._install(live)
+
+    def _install(self, live: frozenset) -> None:
+        self.view = View(self.view.epoch + 1, live,
+                         {nid: self.nodes[nid].incarnation for nid in live})
         self.view_history.append(self.view)
         wire = self.params.net.wire_latency_us
         for nid in live:
             node = self.nodes[nid]
-            self.sim.call_after(wire, node.on_view_change, self.view.epoch, live)
+            self.sim.call_after(wire, node.on_view_change, self.view.epoch,
+                                live, self.view.incarnations)
+
+    # --------------------------------------------------------------- rejoin
+
+    def admit(self, node_id: NodeId) -> None:
+        """Re-admit a restarted node with an epoch bump.
+
+        Symmetric with removal: we wait until the node's *eviction* view has
+        been installed (it may still be pending if the restart raced the
+        detector), then wait a full lease interval so every live node has
+        acted on the eviction — and fenced the old incarnation — before any
+        of them can see the rejoiner in a view."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            raise RuntimeError(f"node {node_id} is not restarted; cannot admit")
+        if node_id in self.view.live:
+            # Eviction not installed yet: retry once the detector catches up.
+            self.sim.call_after(self.params.heartbeat_us, self.admit, node_id)
+            return
+        self.sim.call_after(self.params.lease_us, self._admit_now, node_id)
+
+    def _admit_now(self, node_id: NodeId) -> None:
+        node = self.nodes[node_id]
+        if not node.alive or node_id in self.view.live:
+            return
+        self._last_heartbeat[node_id] = self.sim.now
+        self._suspected.pop(node_id, None)
+        node.spawn(self._heartbeat_loop(node), name="heartbeat")
+        self._install(frozenset(self.view.live | {node_id}))
 
     # -------------------------------------------------------------- helper
 
@@ -117,8 +171,12 @@ class MembershipService:
         """Test helper: install a view without waiting for lease expiry."""
         if node_id not in self.view.live:
             return
+        self._last_heartbeat.pop(node_id, None)
+        self._suspected.pop(node_id, None)
         live = frozenset(self.view.live - {node_id})
-        self.view = View(self.view.epoch + 1, live)
+        self.view = View(self.view.epoch + 1, live,
+                         {nid: self.nodes[nid].incarnation for nid in live})
         self.view_history.append(self.view)
         for nid in live:
-            self.sim.call_soon(self.nodes[nid].on_view_change, self.view.epoch, live)
+            self.sim.call_soon(self.nodes[nid].on_view_change, self.view.epoch,
+                               live, self.view.incarnations)

@@ -54,12 +54,26 @@ class Node:
         self.alive = True
         #: Current membership epoch as known by this node.
         self.epoch = 1
+        #: Incarnation number: bumped on every restart.  Stamped onto every
+        #: outgoing message so peers can fence pre-crash ("zombie") traffic.
+        self.incarnation = 1
+        #: Latest incarnation of each peer as announced by membership views.
+        self.peer_incarnations: Dict[NodeId, int] = {}
         #: Live-node view as known by this node.
         self.live_nodes: frozenset = frozenset()
         self._processes: List[Process] = []
         self._view_listeners: List[Callable[[int, frozenset], None]] = []
         #: Registry-backed counter view (``node.*`` metrics, labeled by id).
         self.counters = self.obs.registry.group("node", node=node_id)
+        self._c_fenced = self.obs.registry.counter("recovery.fenced",
+                                                   node=node_id)
+        self._c_quarantined = self.obs.registry.counter(
+            "recovery.quarantined", node=node_id)
+        #: True between :meth:`restart` and the first view install: a
+        #: rebooting node must not engage in the protocols until admitted.
+        self.joining = False
+        self.transport.fence_fn = self._fence
+        self.transport.peer_inc_fn = self._believed_incarnation
 
     # ------------------------------------------------------------ plumbing
 
@@ -77,6 +91,50 @@ class Node:
         net = self.params.net
         self.pool.charge(net.msg_cpu_us + net.reliable_overhead_us)
         self.transport.send(dst, kind, payload, size_bytes)
+
+    def _fence(self, msg: Message) -> bool:
+        """Reject traffic from a stale incarnation of ``msg.src``.
+
+        After a peer crashes and rejoins, membership announces its bumped
+        incarnation; anything still in flight from the dead incarnation
+        (messages the network already accepted, probe retransmits) must not
+        touch channel or protocol state.  Higher-than-known incarnations are
+        allowed through: the rejoined peer may legitimately reach us before
+        the admit view does.
+
+        While :attr:`joining` (rebooted but not yet admitted) *everything*
+        is dropped: in-flight traffic can only be addressed to our dead
+        incarnation, and letting it advance fresh receive channels would
+        desynchronize them against peers that reset at the admit view."""
+        if self.joining:
+            self._c_quarantined.inc()
+            return True
+        if 0 < msg.dst_inc < self.incarnation:
+            # Addressed to our dead incarnation (e.g. a probe retransmit
+            # created before the sender learned we restarted).
+            self._c_fenced.inc()
+            tracer = self.obs.tracer
+            if tracer:
+                tracer.instant("recovery.fence", pid=self.node_id,
+                               cat="recovery", src=msg.src,
+                               dst_inc=msg.dst_inc, kind=msg.kind)
+            return True
+        known = self.peer_incarnations.get(msg.src)
+        if known is not None and msg.inc < known:
+            self._c_fenced.inc()
+            tracer = self.obs.tracer
+            if tracer:
+                tracer.instant("recovery.fence", pid=self.node_id,
+                               cat="recovery", src=msg.src, inc=msg.inc,
+                               expected=known, kind=msg.kind)
+            return True
+        return False
+
+    def _believed_incarnation(self, peer: NodeId) -> int:
+        """What incarnation we believe ``peer`` runs (0 before any view)."""
+        if peer == self.node_id:
+            return self.incarnation
+        return self.peer_incarnations.get(peer, 0)
 
     def _dispatch(self, msg: Message) -> None:
         if not self.alive:
@@ -115,6 +173,33 @@ class Node:
             proc.kill()
         self._processes.clear()
 
+    def restart(self) -> None:
+        """Reboot a crashed node under a fresh incarnation.
+
+        All volatile state is rebuilt: worker pool and app CPUs (a reboot
+        forgets queued work and any gray slowdown), transport channels
+        (sequence numbers restart at 0), and the view (cleared so the admit
+        view installs unconditionally).  Datastore state is *not* restored
+        here — the recovery manager transfers it from live replicas once
+        membership re-admits the node."""
+        if self.alive:
+            raise RuntimeError(f"node {self.node_id} is alive; cannot restart")
+        self.incarnation += 1
+        self.alive = True
+        self.pool = CpuPool(self.sim, self.params.worker_threads,
+                            name=f"n{self.node_id}.pool")
+        self.app_cpus = [
+            CpuServer(self.sim, name=f"n{self.node_id}.app{i}")
+            for i in range(self.params.app_threads)
+        ]
+        self.transport.incarnation = self.incarnation
+        self.transport.restart()
+        self.joining = True
+        self.live_nodes = frozenset()
+        self.peer_incarnations.clear()
+        self.network.set_down(self.node_id, False)
+        self.counters.inc("restarts")
+
     def set_slowdown(self, factor: float) -> None:
         """Gray failure: multiply every CPU cost on this node by ``factor``
         (1.0 restores full speed).  The node stays alive and correct — just
@@ -135,19 +220,31 @@ class Node:
     def add_view_listener(self, fn: Callable[[int, frozenset], None]) -> None:
         self._view_listeners.append(fn)
 
-    def on_view_change(self, epoch: int, live: frozenset) -> None:
+    def on_view_change(self, epoch: int, live: frozenset,
+                       incarnations: Optional[Dict[NodeId, int]] = None) -> None:
         """Called by the membership service when a new view is installed."""
         if not self.alive:
             return
         if self.live_nodes and epoch <= self.epoch:
             return
+        self.joining = False  # admitted: the quarantine lifts
         removed = self.live_nodes - live
+        added = (live - self.live_nodes) if self.live_nodes else frozenset()
         self.epoch = epoch
         self.live_nodes = live
+        if incarnations:
+            for peer, inc in incarnations.items():
+                if peer != self.node_id:
+                    self.peer_incarnations[peer] = inc
         # Only once membership has spoken may the reliable layer discard
         # channel state toward a peer (a give-up alone might be a partition).
         for peer in removed:
             self.transport.on_peer_removed(peer)
+        # A re-admitted peer is a fresh incarnation: reset channels so both
+        # sides restart from seq 0 (the rejoiner's transport already did).
+        for peer in added:
+            if peer != self.node_id:
+                self.transport.on_peer_added(peer)
         for fn in self._view_listeners:
             fn(epoch, live)
 

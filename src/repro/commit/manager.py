@@ -125,6 +125,8 @@ class CommitManager:
         #: (pipeline, slot) -> set of followers still to ack.
         self._replays: Dict[Tuple[PipelineId, int], Set[NodeId]] = {}
         self._recovering_epoch: Optional[int] = None
+        #: Live set of the previous view, for spotting re-admitted peers.
+        self._prev_live: frozenset = frozenset()
 
         obs = node.obs
         self.tracer = obs.tracer
@@ -413,7 +415,42 @@ class CommitManager:
     # Recovery
     # ======================================================================
 
+    def reset_for_restart(self) -> None:
+        """Wipe volatile pipeline state after a crash-restart.
+
+        Coordinator pipelines restart at slot 0 (peers symmetrically drop
+        their follower view of our dead incarnation on the admit view);
+        follower views of remote pipelines are rebuilt from the R-INVs the
+        live coordinators send once we rejoin their follower sets."""
+        self._coord.clear()
+        self._follow.clear()
+        self._pending_by_oid.clear()
+        self._val_buffer.clear()
+        self._ack_buffer.clear()
+        self._val_flush_scheduled = False
+        self._ack_flush_scheduled = False
+        self._replays.clear()
+        self._recovering_epoch = None
+        self._prev_live = frozenset()
+
+    def _forget_peer_pipelines(self, peer: NodeId) -> None:
+        """A peer rejoined as a fresh incarnation: its coordinator pipelines
+        restart at slot 0, so our follower view of the old incarnation
+        (``settled`` at the pre-crash high-water mark) would silently
+        re-ack-and-drop every new slot as a duplicate.  Forget it all."""
+        for pipeline in [p for p in self._follow if p[0] == peer]:
+            del self._follow[pipeline]
+        for key in [k for k in self._replays if k[0][0] == peer]:
+            del self._replays[key]
+        self._ack_buffer.pop(peer, None)
+        self._val_buffer.pop(peer, None)
+
     def _on_view_change(self, epoch: int, live: frozenset) -> None:
+        prev_live, self._prev_live = self._prev_live, live
+        if prev_live:
+            for peer in live - prev_live:
+                if peer != self.node_id:
+                    self._forget_peer_pipelines(peer)
         # 1. Coordinator: drop dead followers from pending slots and
         #    re-broadcast unvalidated slots under the new epoch.
         for thread, pipe in self._coord.items():

@@ -23,6 +23,7 @@ from ..net.fault import FaultInjector
 from ..net.network import Network
 from ..obs import Observability
 from ..ownership.manager import OwnershipManager
+from ..recovery.manager import RecoveryManager
 from ..sim.kernel import Simulator
 from ..sim.params import SimParams
 from ..sim.process import Process
@@ -38,18 +39,20 @@ __all__ = ["ZeusCluster", "ZeusHandle"]
 class ZeusHandle:
     """Everything attached to one node, bundled for convenient access."""
 
-    __slots__ = ("node", "store", "directory", "ownership", "commit", "api")
+    __slots__ = ("node", "store", "directory", "ownership", "commit", "api",
+                 "recovery")
 
     def __init__(self, node: Node, store: ObjectStore,
                  directory: Optional[DirectoryTable],
                  ownership: OwnershipManager, commit: CommitManager,
-                 api: ZeusAPI):
+                 api: ZeusAPI, recovery: RecoveryManager):
         self.node = node
         self.store = store
         self.directory = directory
         self.ownership = ownership
         self.commit = commit
         self.api = api
+        self.recovery = recovery
 
     @property
     def node_id(self) -> int:
@@ -99,12 +102,15 @@ class ZeusCluster:
             commit.ownership = ownership
             api = ZeusAPI(node, store, self.catalog, ownership, commit,
                           rng=self.rng.stream(f"api.{nid}"))
+            recovery = RecoveryManager(node, store, self.catalog, directory,
+                                       ownership, commit)
             self.handles.append(ZeusHandle(node, store, directory, ownership,
-                                           commit, api))
+                                           commit, api, recovery))
 
         self.nodes = [h.node for h in self.handles]
         self.membership = MembershipService(self.sim, self.params, self.nodes)
         self.failures = FailureInjector(self.sim, self.network, obs=self.obs)
+        self.failures.recover_fn = self._do_recover_node
         self._loaded = False
 
     def _install_stats_hook(self) -> None:
@@ -163,6 +169,22 @@ class ZeusCluster:
             self.failures.crash_now(node)
         else:
             self.failures.crash_at(node, at)
+
+    def recover(self, node_id: int, at: Optional[float] = None) -> None:
+        """Restart a crashed node and re-admit it (optionally scheduled)."""
+        node = self.nodes[node_id]
+        if at is None:
+            self.failures.recover_now(node)
+        else:
+            self.failures.recover_at(node, at)
+
+    def _do_recover_node(self, node: Node) -> None:
+        """The failure injector's recover hook: reboot + rejoin."""
+        crash_time = max((t for t, n in self.failures.crashed
+                          if n == node.node_id), default=self.sim.now)
+        node.restart()
+        self.handles[node.node_id].recovery.on_restart(crash_time)
+        self.membership.admit(node.node_id)
 
     def partition(self, a_side, b_side, at: Optional[float] = None,
                   heal_at: Optional[float] = None) -> None:

@@ -180,5 +180,39 @@ class HermesReplica:
         if entry is not None and entry.ts == ts and entry.state == _INVALID:
             entry.state = _VALID
 
+    # ---------------------------------------------------------- state xfer
+
+    def export_snapshot(self):
+        """All validated entries as ``(key, ts, value)`` triples, for
+        bootstrapping a rejoining replica (Hermes §4: a reset node replays
+        state from live replicas).  In-flight (invalidated) entries are
+        skipped — their writes will re-reach the rejoiner via INV/VAL."""
+        return [(key, entry.ts, entry.value)
+                for key, entry in sorted(self._table.items(),
+                                         key=lambda kv: repr(kv[0]))
+                if entry.state == _VALID]
+
+    def apply_snapshot(self, snapshot) -> int:
+        """Install snapshot entries, timestamp-guarded so a stale snapshot
+        can never regress a newer local value.  Returns entries applied."""
+        applied = 0
+        for key, ts, value in snapshot:
+            entry = self._table.get(key)
+            if entry is None:
+                fresh = _Entry(value, tuple(ts))
+                self._table[key] = fresh
+                applied += 1
+            elif tuple(ts) > entry.ts:
+                entry.ts = tuple(ts)
+                entry.value = value
+                entry.state = _VALID
+                applied += 1
+        return applied
+
+    def reset(self) -> None:
+        """Crash wiped this replica: drop the table and in-flight writes."""
+        self._table.clear()
+        self._writes.clear()
+
     def __len__(self) -> int:
         return len(self._table)

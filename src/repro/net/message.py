@@ -21,7 +21,8 @@ NodeId = int
 class Message:
     """A single message on the simulated network."""
 
-    __slots__ = ("src", "dst", "kind", "payload", "size_bytes", "seq", "ack")
+    __slots__ = ("src", "dst", "kind", "payload", "size_bytes", "seq", "ack",
+                 "inc", "dst_inc")
 
     def __init__(self, src: NodeId, dst: NodeId, kind: str, payload: Any, size_bytes: int):
         self.src = src
@@ -33,6 +34,14 @@ class Message:
         self.seq = None
         #: Piggybacked cumulative ack for the reverse channel (or None).
         self.ack = None
+        #: Sender incarnation number: bumped each restart so receivers can
+        #: fence in-flight "zombie" traffic from a pre-crash incarnation.
+        self.inc = 1
+        #: The *destination* incarnation the sender believed at send time
+        #: (0 = no claim).  A receiver that restarted since then drops the
+        #: message: it was addressed to its dead predecessor.  Retransmits
+        #: re-send the stored message, so the stamp ages with the intent.
+        self.dst_inc = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -77,6 +77,16 @@ class ReliableTransport:
         self._send: Dict[NodeId, _SendChannel] = {}
         self._recv: Dict[NodeId, _RecvChannel] = {}
         self.stopped = False
+        #: Our incarnation number, stamped on every outgoing message.  The
+        #: owning :class:`~repro.cluster.node.Node` bumps it on restart.
+        self.incarnation = 1
+        #: Optional fence: ``fence_fn(msg) -> True`` rejects the message
+        #: before any channel state is touched (zombie-incarnation traffic).
+        self.fence_fn: Optional[Callable[[Message], bool]] = None
+        #: Optional hook returning the peer incarnation we currently believe
+        #: (0 = unknown); stamped as ``msg.dst_inc`` so a peer that has since
+        #: restarted can drop traffic addressed to its dead incarnation.
+        self.peer_inc_fn: Optional[Callable[[NodeId], int]] = None
         # metrics (registry-backed; shared with the network's registry)
         self.obs = network.obs
         registry = self.obs.registry
@@ -110,10 +120,14 @@ class ReliableTransport:
         if dst == self.node_id:
             # Loopback: deliver immediately without touching the wire.
             msg = Message(self.node_id, dst, kind, payload, size_bytes)
+            msg.inc = self.incarnation
             self.sim.call_soon(self.deliver, msg)
             return
         chan = self._send_chan(dst)
         msg = Message(self.node_id, dst, kind, payload, size_bytes)
+        msg.inc = self.incarnation
+        if self.peer_inc_fn is not None:
+            msg.dst_inc = self.peer_inc_fn(dst)
         msg.seq = chan.next_seq
         chan.next_seq += 1
         chan.unacked[msg.seq] = msg
@@ -184,6 +198,8 @@ class ReliableTransport:
     def _on_wire(self, msg: Message) -> None:
         if self.stopped:
             return
+        if self.fence_fn is not None and self.fence_fn(msg):
+            return
         if msg.ack is not None:
             self._on_ack(msg.src, msg.ack)
         if msg.kind == ACK_KIND:
@@ -223,6 +239,9 @@ class ReliableTransport:
         chan.ack_timer = None
         self._c_acks_sent.inc()
         ack = Message(self.node_id, src, ACK_KIND, chan.expected, _ACK_SIZE)
+        ack.inc = self.incarnation
+        if self.peer_inc_fn is not None:
+            ack.dst_inc = self.peer_inc_fn(src)
         self.network.send(ack)
 
     def _on_ack(self, src: NodeId, cumulative: int) -> None:
@@ -253,6 +272,24 @@ class ReliableTransport:
         rchan = self._recv.pop(peer, None)
         if rchan is not None and rchan.ack_timer is not None:
             rchan.ack_timer.cancel()
+
+    def on_peer_added(self, peer: NodeId) -> None:
+        """Membership re-admitted ``peer`` under a fresh incarnation: any
+        channel state we still hold targets its dead predecessor (stale
+        sequence numbers, unacked traffic it will never ack), so discard it
+        and let both directions restart from seq 0."""
+        self.on_peer_removed(peer)
+
+    def restart(self) -> None:
+        """Rejoin after a crash-stop: all channels restart from scratch.
+
+        :meth:`stop` already cancelled timers and dropped buffers; here we
+        also forget the channel objects themselves so sequence numbers
+        restart at 0 — peers symmetrically reset via :meth:`on_peer_added`
+        when the new incarnation is admitted."""
+        self._send.clear()
+        self._recv.clear()
+        self.stopped = False
 
     def stop(self) -> None:
         """Crash-stop: cancel all timers, drop all state."""

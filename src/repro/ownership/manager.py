@@ -59,6 +59,7 @@ __all__ = ["OwnershipManager", "AcquireOutcome"]
 
 KIND_RECOVERED = "own.recovered"
 KIND_LIFTED = "own.lifted"
+KIND_DIR_SYNC = "own.dir_sync"
 
 ReqId = Tuple[NodeId, int]
 
@@ -169,6 +170,7 @@ class OwnershipManager(LifecycleMixin):
         node.register_handler(KIND_DATA, self._on_data)
         node.register_handler(KIND_RECOVERED, self._on_recovered)
         node.register_handler(KIND_LIFTED, self._on_lifted)
+        node.register_handler(KIND_DIR_SYNC, self._on_dir_sync)
         node.add_view_listener(self._on_view_change)
         self._init_lifecycle()
 
@@ -654,10 +656,17 @@ class OwnershipManager(LifecycleMixin):
             replicas = replicas.without(nid)
 
         entry = self.directory.get(oid) if self.directory is not None else None
+        if (entry is None and self.directory is not None
+                and self.node_id in self._dir_nodes_for(oid)):
+            # A rejoining directory host can receive the INV before the
+            # state-transfer snapshot covers this object; materialize the
+            # entry now so the settled arbitration is not lost.
+            entry = self.directory.create(oid, replicas, inv.o_ts)
         if entry is not None:
             entry.replicas = replicas
             entry.o_ts = inv.o_ts
             entry.o_state = OState.VALID
+        self._sync_absent_dir_hosts(inv)
 
         obj = self.store.get(oid)
         if obj is None:
@@ -683,11 +692,15 @@ class OwnershipManager(LifecycleMixin):
         for nid in prev.all_nodes() - live:
             prev = prev.without(nid)
         entry = self.directory.get(abort.oid) if self.directory is not None else None
+        if (entry is None and self.directory is not None
+                and self.node_id in self._dir_nodes_for(abort.oid)):
+            entry = self.directory.create(abort.oid, prev, cur.o_ts)
         if entry is not None:
             entry.replicas = prev
             entry.o_state = OState.VALID
             # o_ts stays bumped: the aborted version number is burned so a
             # retry can never collide with the aborted request.
+        self._sync_absent_dir_hosts(cur)
         obj = self.store.get(abort.oid)
         if obj is not None and obj.o_state == OState.INVALID:
             obj.o_state = OState.VALID
@@ -697,9 +710,83 @@ class OwnershipManager(LifecycleMixin):
             obj.o_replicas = prev if prev.owner == self.node_id else None
         self.counters.inc("arb_aborted")
 
+    # ----------------------------------------------------- directory repair
+
+    def _sync_absent_dir_hosts(self, inv: OwnInv) -> None:
+        """Forward the settled entry to directory hosts the arbitration
+        missed.
+
+        An arbitration's participant set is frozen at drive time, so a
+        directory host admitted mid-arbitration never sees the VAL (or
+        ABORT) and would keep a pre-crash view of the entry forever.  The
+        minimum live arbiting directory node forwards the now-settled entry
+        state; the receiver's timestamp guard makes this safe under any
+        reordering with the state-transfer snapshot.
+        """
+        if self.directory is None:
+            return
+        live = self.node.live_nodes
+        dir_hosts = self._dir_nodes_for(inv.oid)
+        absent = [d for d in dir_hosts if d in live and d not in inv.arbiters]
+        if not absent:
+            return
+        senders = [a for a in inv.arbiters if a in live and a in dir_hosts]
+        if not senders or min(senders) != self.node_id:
+            return
+        entry = self.directory.get(inv.oid)
+        if entry is None:
+            return
+        payload = (inv.oid, entry.o_ts, entry.replicas)
+        for dnode in absent:
+            self.node.send(dnode, KIND_DIR_SYNC, payload, 40)
+        self.counters.inc("dir_sync_sent")
+
+    def _on_dir_sync(self, msg: Message) -> None:
+        if self.directory is None:
+            return
+        oid, o_ts, replicas = msg.payload
+        if self.node_id not in self._dir_nodes_for(oid):
+            return
+        live = self.node.live_nodes
+        for nid in replicas.all_nodes() - live:
+            replicas = replicas.without(nid)
+        entry = self.directory.get(oid)
+        if entry is None:
+            self.directory.create(oid, replicas, o_ts)
+            self.counters.inc("dir_sync_applied")
+            return
+        # ``>=`` (not ``>``): an abort keeps the bumped o_ts but reverts the
+        # replica set, so an equal-ts sync can still carry news.  A local
+        # in-flight arbitration (non-VALID state) is never clobbered — its
+        # own VAL/ABORT/arb-replay settles it.
+        if entry.o_state == OState.VALID and o_ts >= entry.o_ts:
+            entry.replicas = replicas
+            entry.o_ts = o_ts
+            self.counters.inc("dir_sync_applied")
+
     # ======================================================================
     # Recovery: view changes, barrier, arb-replay
     # ======================================================================
+
+    def reset_for_restart(self) -> None:
+        """Wipe volatile protocol state after a crash-restart.
+
+        The store/directory are cleared by the recovery manager; here we
+        drop every in-flight request, pending arbitration, replay, and
+        barrier record from the dead incarnation.  ``_next_req_id`` is NOT
+        reset: req-ids must stay unique across incarnations so a replay of
+        a pre-crash request at a peer can never alias a fresh one.
+        """
+        self._reqs.clear()
+        self._req_by_oid.clear()
+        self._pending_arb.clear()
+        self._replays.clear()
+        self._fetch_waiting.clear()
+        self._recovered.clear()
+        self._lifecycle.clear()
+        # Barrier re-arms: the rejoiner must hear LIFTED for the admit
+        # epoch (or a later one) before serving ownerless objects.
+        self._lifted_epoch = 0
 
     def _on_view_change(self, epoch: int, live: frozenset) -> None:
         if self.directory is not None:

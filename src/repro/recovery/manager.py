@@ -1,0 +1,395 @@
+"""Rejoin protocol: snapshot transfer + degree repair for restarted nodes.
+
+The paper treats node recovery operationally ("a recovered or new node
+... gets up-to-date by state transfer from the object replicas" — §6.1);
+this module pins down the mechanism:
+
+* **State transfer** — on the admit view, the rejoiner asks every live
+  directory host for a snapshot of its directory shard.  Donors stream
+  ``(oid, o_ts, replicas)`` entries in chunks; the rejoiner applies them
+  under a strict ``o_ts >`` guard (a racing arbitration that already
+  produced a newer entry locally always wins) and re-creates its own
+  directory shard if it hosts one.  A donor dying mid-transfer just
+  restarts the transfer against the survivors.
+
+* **Catch-up / re-replication** — object *values* never ride the
+  snapshot.  Instead the rejoiner walks the transferred entries and, for
+  every replica set below target degree that it does not already belong
+  to, issues an ordinary ``ADD_READER`` acquisition.  The ownership
+  protocol's FETCH/DATA leg delivers the current value, and once the VAL
+  lands the rejoiner is in the replica set — so any write racing the
+  transfer reaches it through the normal reliable-commit path, guarded
+  by version monotonicity.  Entries that *still list* the rejoiner (the
+  directory never saw it leave, so an ``ADD_READER`` would no-op-grant
+  without data) instead re-fetch the value directly from a live replica
+  — membership in the set was never revoked, only the bytes were lost,
+  and subsequent commits stream to the rejoiner anyway because it is
+  listed.  Finally the rejoiner asks the donors to *scan* for residual
+  deficits (multiple simultaneous crashes can leave holes one rejoiner
+  cannot fill alone); donors hint the lowest-id candidate nodes, which
+  repair themselves the same way.
+
+Metrics: ``recovery.rejoins`` / ``transfer_chunks`` / ``transfer_bytes``
+/ ``objects_repaired`` counters, ``recovery.catchup_us`` (admit →
+transfer done) and ``recovery.mttr_us`` (crash → fully repaired)
+histograms, and ``recovery.transfer`` / ``recovery.repair`` trace spans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..cluster.node import Node
+from ..net.message import Message, NodeId
+from ..ownership.manager import OwnershipManager
+from ..ownership.messages import ReqType
+from ..store.catalog import Catalog, ObjectId
+from ..store.directory import DirectoryTable
+from ..store.meta import Ots, OState, ReplicaSet
+from ..store.object_store import ObjectStore
+
+__all__ = ["RecoveryManager"]
+
+KIND_SNAP_REQ = "rec.snap_req"
+KIND_SNAP_CHUNK = "rec.snap_chunk"
+KIND_SNAP_DONE = "rec.snap_done"
+KIND_REPAIR = "rec.repair"
+KIND_REPAIR_SCAN = "rec.repair_scan"
+KIND_FETCH = "rec.fetch"
+KIND_DATA = "rec.data"
+
+#: Directory entries per snapshot chunk.
+_CHUNK_ENTRIES = 32
+#: Modeled wire size of one ``(oid, o_ts, replicas)`` snapshot entry.
+_ENTRY_BYTES = 24
+#: Pacing gap between chunks so the transfer does not monopolize a donor.
+_CHUNK_GAP_US = 5.0
+#: Degree-repair acquisition retry budget (arbitration can be busy).
+_REPAIR_ATTEMPTS = 60
+
+
+class RecoveryManager:
+    """Rejoin endpoint on one node: snapshot donor *and* recipient."""
+
+    def __init__(self, node: Node, store: ObjectStore, catalog: Catalog,
+                 directory: Optional[DirectoryTable],
+                 ownership: OwnershipManager, commit) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.node_id = node.node_id
+        self.store = store
+        self.catalog = catalog
+        self.directory = directory
+        self.ownership = ownership
+        self.commit = commit
+        self.params = node.params
+
+        #: Restarted and waiting for the admit view.
+        self._awaiting = False
+        self._crash_time: Optional[float] = None
+        self._admitted_at: Optional[float] = None
+        #: Donors whose SNAP_DONE is still outstanding (empty = no transfer).
+        self._pending_donors: Set[NodeId] = set()
+        #: Everything the snapshot taught us, for the repair pass.
+        self._entries: Dict[ObjectId, Tuple[Ots, ReplicaSet]] = {}
+        #: Objects a repair acquisition is already in flight for.
+        self._repairing: Set[ObjectId] = set()
+        self._transfer_span = None
+
+        obs = node.obs
+        self.tracer = obs.tracer
+        self.counters = obs.registry.group("recovery", node=self.node_id)
+        self._h_mttr = obs.registry.histogram("recovery.mttr_us",
+                                              node=self.node_id)
+        self._h_catchup = obs.registry.histogram("recovery.catchup_us",
+                                                 node=self.node_id)
+
+        node.register_handler(KIND_SNAP_REQ, self._on_snap_req)
+        node.register_handler(KIND_SNAP_CHUNK, self._on_snap_chunk,
+                              cost=0.2)
+        node.register_handler(KIND_SNAP_DONE, self._on_snap_done)
+        node.register_handler(KIND_REPAIR, self._on_repair)
+        node.register_handler(KIND_REPAIR_SCAN, self._on_repair_scan)
+        node.register_handler(KIND_FETCH, self._on_fetch)
+        node.register_handler(KIND_DATA, self._on_data, cost=0.1)
+        node.add_view_listener(self._on_view_change)
+
+    # ------------------------------------------------------------- restart
+
+    def on_restart(self, crash_time_us: float) -> None:
+        """Wipe all datastore + protocol state and arm the rejoin.
+
+        Called by the cluster right after :meth:`Node.restart`, *before*
+        membership re-admits the node — the node must look blank by the
+        time the first post-admit message arrives.
+        """
+        self.store.clear()
+        if self.directory is not None:
+            self.directory.clear()
+        self.ownership.reset_for_restart()
+        self.commit.reset_for_restart()
+        self._crash_time = crash_time_us
+        self._admitted_at = None
+        self._pending_donors.clear()
+        self._entries.clear()
+        self._repairing.clear()
+        self._awaiting = True
+        if self.tracer:
+            self.tracer.instant("recovery.restart", pid=self.node_id,
+                                cat="recovery", inc=self.node.incarnation)
+
+    def _on_view_change(self, epoch: int, live: frozenset) -> None:
+        if self._awaiting and self.node_id in live:
+            # The admit view: membership took us back — start catching up.
+            self._awaiting = False
+            self._admitted_at = self.sim.now
+            self.counters.inc("rejoins")
+            self._begin_transfer(live)
+            return
+        if self._pending_donors and not (self._pending_donors <= live):
+            # A donor died mid-transfer; restart against the survivors
+            # (re-applied chunks are harmless under the o_ts guard).
+            self._begin_transfer(live)
+
+    # ======================================================================
+    # State transfer — recipient side
+    # ======================================================================
+
+    def _donors(self, live: frozenset) -> Tuple[NodeId, ...]:
+        return tuple(d for d in range(self.catalog.num_nodes)
+                     if d != self.node_id and d in live
+                     and self.catalog.hosts_directory(d))
+
+    def _begin_transfer(self, live: frozenset) -> None:
+        donors = self._donors(live)
+        if self.tracer and self._transfer_span is None:
+            self._transfer_span = self.tracer.begin(
+                "recovery.transfer", pid=self.node_id, cat="recovery",
+                donors=len(donors))
+        if not donors:
+            # Nothing to learn from (single live node): repair is moot too.
+            self._finish_transfer()
+            return
+        self._pending_donors = set(donors)
+        for donor in donors:
+            self.node.send(donor, KIND_SNAP_REQ, self.node.epoch, 16)
+
+    def _on_snap_chunk(self, msg: Message) -> None:
+        if not self._pending_donors:
+            return  # late chunk from an aborted transfer
+        entries = msg.payload
+        self.counters.inc("transfer_chunks")
+        self.counters.inc("transfer_bytes", len(entries) * _ENTRY_BYTES)
+        live = self.node.live_nodes
+        for oid, o_ts, replicas in entries:
+            for nid in replicas.all_nodes() - live:
+                replicas = replicas.without(nid)
+            known = self._entries.get(oid)
+            if known is None or o_ts > known[0]:
+                self._entries[oid] = (o_ts, replicas)
+            if (self.directory is not None
+                    and self.catalog.hosts_directory(self.node_id)
+                    and self.node_id in self.catalog.directory_nodes_for(oid)):
+                entry = self.directory.get(oid)
+                if entry is None:
+                    self.directory.create(oid, replicas, o_ts)
+                elif entry.o_state == OState.VALID and o_ts > entry.o_ts:
+                    # Strict ``>``: an arbitration that settled here after
+                    # the admit view is newer than any snapshot of the
+                    # pre-crash past, and must not be regressed.
+                    entry.o_ts = o_ts
+                    entry.replicas = replicas
+
+    def _on_snap_done(self, msg: Message) -> None:
+        if msg.src not in self._pending_donors:
+            return
+        self._pending_donors.discard(msg.src)
+        if not self._pending_donors:
+            self._finish_transfer()
+
+    def _finish_transfer(self) -> None:
+        self._pending_donors.clear()
+        if self._admitted_at is not None:
+            self._h_catchup.record(self.sim.now - self._admitted_at)
+        if self._transfer_span is not None:
+            self.tracer.end(self._transfer_span, entries=len(self._entries))
+            self._transfer_span = None
+        self.node.spawn(self._repair_pass(), name="recovery-repair")
+
+    # ======================================================================
+    # Re-replication (degree repair)
+    # ======================================================================
+
+    def _target_degree(self) -> int:
+        live = self.node.live_nodes or frozenset({self.node_id})
+        return min(self.params.replication_degree, len(live))
+
+    def _current_replicas(self, oid: ObjectId) -> Optional[ReplicaSet]:
+        if self.directory is not None:
+            entry = self.directory.get(oid)
+            if entry is not None:
+                return entry.replicas
+        known = self._entries.get(oid)
+        return known[1] if known is not None else None
+
+    def _repair_pass(self):
+        span = (self.tracer.begin("recovery.repair", pid=self.node_id,
+                                  cat="recovery")
+                if self.tracer else None)
+        for oid in sorted(self._entries):
+            replicas = self._current_replicas(oid)
+            if replicas is None:
+                continue
+            if self.node_id in replicas.all_nodes():
+                # Still listed from before the crash: we are a valid member
+                # of the set that merely lost its bytes (ADD_READER would
+                # no-op-grant without data), so re-fetch the value.
+                if not self.store.has(oid):
+                    yield from self._refetch_with_retry(oid)
+                continue
+            if replicas.size() >= self._target_degree():
+                continue
+            yield from self._acquire_with_retry(oid)
+        # Residual deficits (several simultaneous crashes leave holes one
+        # rejoiner cannot fill): ask the donors to scan and hint.
+        live = self.node.live_nodes
+        for donor in self._donors(live):
+            self.node.send(donor, KIND_REPAIR_SCAN, self.node.epoch, 16)
+        if span is not None:
+            self.tracer.end(span)
+        if self._crash_time is not None:
+            self._h_mttr.record(self.sim.now - self._crash_time)
+            self._crash_time = None
+        if self.tracer:
+            self.tracer.instant("recovery.complete", pid=self.node_id,
+                                cat="recovery", inc=self.node.incarnation)
+
+    def _acquire_with_retry(self, oid: ObjectId):
+        """Join ``oid``'s replica set via ADD_READER, retrying through
+        transient NACKs (busy arbitration, recovery barrier) with a
+        deterministic backoff."""
+        self._repairing.add(oid)
+        try:
+            for attempt in range(_REPAIR_ATTEMPTS):
+                if self.store.has(oid):
+                    break
+                outcome = yield from self.ownership.acquire(
+                    oid, ReqType.ADD_READER)
+                if outcome.granted and self.store.has(oid):
+                    break
+                yield 400.0 + 40.0 * attempt
+            if self.store.has(oid):
+                self.counters.inc("objects_repaired")
+            else:
+                self.counters.inc("repair_failed")
+        finally:
+            self._repairing.discard(oid)
+
+    def _refetch_with_retry(self, oid: ObjectId):
+        """Recover the value of an object we are still listed for,
+        rotating through the live replicas until one answers."""
+        self._repairing.add(oid)
+        try:
+            for attempt in range(_REPAIR_ATTEMPTS):
+                if self.store.has(oid):
+                    break
+                replicas = self._current_replicas(oid)
+                live = self.node.live_nodes
+                sources = sorted(
+                    n for n in (replicas.all_nodes() if replicas else ())
+                    if n != self.node_id and n in live)
+                if not sources:
+                    break  # sole surviving member: the value died with us
+                self.node.send(sources[attempt % len(sources)],
+                               KIND_FETCH, oid, 16)
+                yield 300.0 + 20.0 * attempt
+            if self.store.has(oid):
+                self.counters.inc("objects_refetched")
+            else:
+                self.counters.inc("repair_failed")
+        finally:
+            self._repairing.discard(oid)
+
+    def _on_data(self, msg: Message) -> None:
+        oid, data, version = msg.payload
+        if oid not in self._repairing:
+            return  # late reply for a refetch that already completed
+        obj = self.store.get(oid)
+        if obj is None:
+            o_ts, _snap_replicas = self._entries[oid]
+            replicas = self._current_replicas(oid)
+            if replicas is not None and replicas.owner == self.node_id:
+                obj = self.store.create(oid, data, replicas, o_ts)
+            else:
+                obj = self.store.create(oid, data, None, o_ts)
+            obj.t_version = version
+        elif version > obj.t_version:
+            obj.t_data = data
+            obj.t_version = version
+
+    # ======================================================================
+    # Donor side
+    # ======================================================================
+
+    def _on_snap_req(self, msg: Message) -> None:
+        requester = msg.src
+        if self.directory is None:
+            self.node.send(requester, KIND_SNAP_DONE, 0, 16)
+            return
+        self.counters.inc("snapshots_served")
+        self.node.spawn(self._send_snapshot(requester),
+                        name=f"snapshot-to-{requester}")
+
+    def _send_snapshot(self, requester: NodeId):
+        # Deterministic order; include non-VALID entries too — the o_ts
+        # guard at the recipient makes a mid-arbitration value harmless,
+        # and the settled arbitration follows via VAL or dir_sync.
+        items = sorted(self.directory.items())
+        for start in range(0, len(items), _CHUNK_ENTRIES):
+            chunk = [(oid, entry.o_ts, entry.replicas)
+                     for oid, entry in items[start:start + _CHUNK_ENTRIES]]
+            self.node.send(requester, KIND_SNAP_CHUNK, chunk,
+                           len(chunk) * _ENTRY_BYTES)
+            yield _CHUNK_GAP_US
+        self.node.send(requester, KIND_SNAP_DONE, len(items), 16)
+
+    def _on_fetch(self, msg: Message) -> None:
+        obj = self.store.get(msg.payload)
+        if obj is None:
+            return  # the requester's retry loop will try another replica
+        self.node.send(msg.src, KIND_DATA,
+                       (obj.oid, obj.t_data, obj.t_version),
+                       self.catalog.size_of(obj.oid) + 16)
+
+    def _on_repair_scan(self, msg: Message) -> None:
+        """Hint under-replicated objects to candidate nodes.
+
+        The hint fan-out is deterministic (lowest-id candidates first) and
+        idempotent: a hinted node that already replicates the object, or
+        already has a repair in flight, drops the hint.
+        """
+        if self.directory is None:
+            return
+        live = self.node.live_nodes
+        target = self._target_degree()
+        for oid, entry in sorted(self.directory.items()):
+            replicas = entry.replicas
+            deficit = target - replicas.size()
+            if deficit <= 0:
+                continue
+            candidates = sorted(live - replicas.all_nodes())
+            for candidate in candidates[:deficit]:
+                self.counters.inc("repair_hints")
+                if candidate == self.node_id:
+                    if not self.store.has(oid) and oid not in self._repairing:
+                        self.node.spawn(self._acquire_with_retry(oid),
+                                        name=f"repair-{oid}")
+                else:
+                    self.node.send(candidate, KIND_REPAIR, oid, 16)
+
+    def _on_repair(self, msg: Message) -> None:
+        oid: ObjectId = msg.payload
+        if self.store.has(oid) or oid in self._repairing:
+            return
+        self.node.spawn(self._acquire_with_retry(oid),
+                        name=f"repair-{oid}")

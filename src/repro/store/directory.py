@@ -66,6 +66,10 @@ class DirectoryTable:
     def items(self) -> Iterator[Tuple[ObjectId, DirEntry]]:
         return iter(self._entries.items())
 
+    def clear(self) -> None:
+        """Forget every entry (crash wiped the node's memory)."""
+        self._entries.clear()
+
     def strip_dead(self, live: frozenset) -> int:
         """Remove non-live nodes from every replica set (view change).
 

@@ -88,6 +88,10 @@ class ObjectStore:
     def has(self, oid: ObjectId) -> bool:
         return oid in self._objects
 
+    def clear(self) -> None:
+        """Forget every replica (crash wiped the node's memory)."""
+        self._objects.clear()
+
     def __len__(self) -> int:
         return len(self._objects)
 

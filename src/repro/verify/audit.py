@@ -1,6 +1,6 @@
 """Post-run invariant audits for chaos campaigns.
 
-After a chaos run drains, four independent audits decide whether the
+After a chaos run drains, six independent audits decide whether the
 history was correct *and* the system recovered:
 
 1. **safety** — the paper's state invariants (single owner, valid-replica
@@ -22,18 +22,26 @@ history was correct *and* the system recovered:
    remains, no object is stuck in a non-Valid t_state.  (A pending
    arbitration whose requester gave up and aborted is tolerated — the
    transaction itself is not stuck.)
+5. **rejoin** — every node that crashed *and recovered* within the run is
+   equivalent to the live replicas at quiesce: each object it stores
+   carries the freshest (version, value) any live replica holds, every
+   directory entry listing it as a replica is backed by an actual stored
+   object, and (if it hosts a directory shard) that shard is complete;
+6. **degree** — when every crashed node recovered, no replica set is left
+   degraded: each object's replication factor is back to
+   ``min(replication_degree, |live|)``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..harness.zeus_cluster import ZeusCluster
 from .invariants import check_invariants, quiescence_problems
 
 __all__ = ["CommitLedger", "AuditReport", "audit_run",
            "audit_safety", "audit_exactly_once", "audit_epochs",
-           "audit_liveness"]
+           "audit_liveness", "audit_rejoin", "audit_degree"]
 
 
 class CommitLedger:
@@ -67,25 +75,32 @@ class CommitLedger:
 
 
 class AuditReport:
-    """Outcome of all four audits for one run."""
+    """Outcome of all audits for one run."""
 
-    __slots__ = ("safety", "exactly_once", "epoch", "liveness")
+    __slots__ = ("safety", "exactly_once", "epoch", "liveness", "rejoin",
+                 "degree")
+
+    _NAMES = ("safety", "exactly_once", "epoch", "liveness", "rejoin",
+              "degree")
 
     def __init__(self, safety: List[str], exactly_once: List[str],
-                 epoch: List[str], liveness: List[str]):
+                 epoch: List[str], liveness: List[str],
+                 rejoin: Optional[List[str]] = None,
+                 degree: Optional[List[str]] = None):
         self.safety = safety
         self.exactly_once = exactly_once
         self.epoch = epoch
         self.liveness = liveness
+        self.rejoin = rejoin if rejoin is not None else []
+        self.degree = degree if degree is not None else []
 
     @property
     def ok(self) -> bool:
-        return not (self.safety or self.exactly_once or self.epoch
-                    or self.liveness)
+        return not any(getattr(self, name) for name in self._NAMES)
 
     def problems(self) -> List[Tuple[str, str]]:
         out: List[Tuple[str, str]] = []
-        for name in ("safety", "exactly_once", "epoch", "liveness"):
+        for name in self._NAMES:
             out.extend((name, p) for p in getattr(self, name))
         return out
 
@@ -119,6 +134,10 @@ def audit_exactly_once(cluster: ZeusCluster, ledger: CommitLedger,
     problems: List[str] = []
     crashed = {nid for _t, nid in cluster.failures.crashed}
     live = {h.node_id for h in cluster.handles if h.node.alive}
+    # The hard lower bound only counts coordinators that *never* crashed:
+    # a recovered node is alive again, but commits it recorded just before
+    # its crash may have died with its in-flight pipeline slots.
+    survivors = live - crashed
     # Unrecorded commits can only come from a crashed coordinator's app
     # threads, at most one per thread (the window between local commit and
     # the driver recording it).
@@ -136,7 +155,7 @@ def audit_exactly_once(cluster: ZeusCluster, ledger: CommitLedger,
                     f"object {oid}: {recorded} committed increments but "
                     f"{applied} applied")
             continue
-        floor = ledger.total_from(oid, live)
+        floor = ledger.total_from(oid, survivors)
         if applied < floor:
             problems.append(
                 f"object {oid}: {floor} increments committed by surviving "
@@ -164,8 +183,9 @@ def audit_epochs(cluster: ZeusCluster) -> List[str]:
                 f"node {node.node_id}: live set {sorted(node.live_nodes)} "
                 f"!= view {sorted(view.live)}")
     crashed = {nid for _t, nid in cluster.failures.crashed}
-    stale = crashed & set(view.live)
-    if stale and cluster.failures.crashed:
+    recovered = {nid for _t, nid in cluster.failures.recovered}
+    stale = (crashed - recovered) & set(view.live)
+    if stale:
         problems.append(
             f"crashed nodes {sorted(stale)} still in the installed view "
             f"(epoch {view.epoch})")
@@ -192,12 +212,79 @@ def audit_liveness(cluster: ZeusCluster) -> List[str]:
     return problems
 
 
+def audit_rejoin(cluster: ZeusCluster) -> List[str]:
+    """Recovered nodes must be full, up-to-date replicas at quiesce."""
+    problems: List[str] = []
+    recovered = {nid for _t, nid in cluster.failures.recovered}
+    view = cluster.membership.view
+    catalog = cluster.catalog
+    for nid in sorted(recovered):
+        h = cluster.handles[nid]
+        if not h.node.alive or nid not in view.live:
+            continue  # evicted again after rejoining: nothing to audit
+        # 1. Every object the rejoiner stores is byte-equivalent to the
+        #    freshest live replica (stale value = catch-up failed).
+        for obj in h.store:
+            best_version, best_value = obj.t_version, obj.t_data
+            for other in cluster.handles:
+                if other.node_id == nid or not other.node.alive:
+                    continue
+                peer = other.store.get(obj.oid)
+                if peer is not None and peer.t_version > best_version:
+                    best_version, best_value = peer.t_version, peer.t_data
+            if (obj.t_version, obj.t_data) != (best_version, best_value):
+                problems.append(
+                    f"rejoined node {nid}, object {obj.oid}: holds "
+                    f"v{obj.t_version}={obj.t_data!r} but a live replica "
+                    f"holds v{best_version}={best_value!r}")
+        # 2. Directory entries naming the rejoiner must be backed by a
+        #    stored object, and its own directory shard must be complete.
+        for oid in range(catalog.num_objects):
+            replicas = cluster.replicas_of(oid)
+            if (replicas is not None and nid in replicas.all_nodes()
+                    and not h.store.has(oid)):
+                problems.append(
+                    f"rejoined node {nid} is in object {oid}'s replica set "
+                    f"but stores no copy")
+            if (h.directory is not None
+                    and nid in catalog.directory_nodes_for(oid)
+                    and h.directory.get(oid) is None):
+                problems.append(
+                    f"rejoined directory host {nid} has no entry for "
+                    f"object {oid} (state transfer incomplete)")
+    return problems
+
+
+def audit_degree(cluster: ZeusCluster) -> List[str]:
+    """With every crashed node recovered, replication degree is restored."""
+    crashed = {nid for _t, nid in cluster.failures.crashed}
+    recovered = {nid for _t, nid in cluster.failures.recovered}
+    if crashed != recovered:
+        return []  # permanently dead nodes: degraded sets are expected
+    view = cluster.membership.view
+    if not recovered <= set(view.live):
+        return []  # a rejoiner was evicted again (late partition etc.)
+    target = min(cluster.params.replication_degree, len(view.live))
+    problems: List[str] = []
+    for oid in range(cluster.catalog.num_objects):
+        replicas = cluster.replicas_of(oid)
+        if replicas is None:
+            problems.append(f"object {oid}: no directory entry survives")
+        elif replicas.size() < target:
+            problems.append(
+                f"object {oid}: replication degree {replicas.size()} < "
+                f"target {target} ({replicas})")
+    return problems
+
+
 def audit_run(cluster: ZeusCluster, ledger: CommitLedger,
               initial_value: int = 0) -> AuditReport:
-    """Run all four audits against a drained cluster."""
+    """Run all six audits against a drained cluster."""
     return AuditReport(
         safety=audit_safety(cluster),
         exactly_once=audit_exactly_once(cluster, ledger, initial_value),
         epoch=audit_epochs(cluster),
         liveness=audit_liveness(cluster),
+        rejoin=audit_rejoin(cluster),
+        degree=audit_degree(cluster),
     )

@@ -282,6 +282,31 @@ def test_arb_replay_completes_with_loss_and_duplication():
     assert audit_liveness(cluster) == []
 
 
+def test_crash_rejoin_cycle_with_loss_and_duplication():
+    """The full crash→rejoin cycle — commit replay for the dead
+    coordinator, ownership slow path while it is gone, then re-admission,
+    state transfer and degree repair — all over a network that keeps
+    losing, duplicating and reordering messages."""
+    cluster = _faulty_cluster(seed=7)
+    cluster.crash(3, at=5_000.0)
+    cluster.recover(3, at=15_000.0)
+    ledger = CommitLedger()
+
+    def on_commit(node_id, spec, _result):
+        ledger.record(node_id, spec.write_set)
+
+    run_zeus_workload(cluster, _counter_spec, duration_us=25_000.0,
+                      threads=2, seed=7, on_commit=on_commit)
+    cluster.run(until=250_000.0)
+
+    node = cluster.nodes[3]
+    assert node.alive and node.incarnation == 2
+    assert 3 in cluster.membership.view.live
+    assert cluster.handles[3].recovery.counters.as_dict()["rejoins"] == 1
+    report = audit_run(cluster, ledger)
+    assert report.ok, report.problems()
+
+
 # ======================================================================
 # Membership: lost heartbeats vs real crashes
 # ======================================================================
