@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..net.message import Message, NodeId
 from ..net.network import Network
-from ..obs import Observability
+from ..obs import Observability, TID_SVC
 from ..sim.kernel import Simulator
 from ..sim.params import SimParams
 from ..sim.process import Process
@@ -74,23 +74,41 @@ class Node:
         self.joining = False
         self.transport.fence_fn = self._fence
         self.transport.peer_inc_fn = self._believed_incarnation
+        #: Trace context of the message handler currently running, if any.
+        #: Handlers run synchronously at their dispatch time (the sim is
+        #: single-threaded), so sends issued inside a handler inherit the
+        #: handler's service-span context automatically.
+        self._handler_ctx = None
 
     # ------------------------------------------------------------ plumbing
 
-    def register_handler(self, kind: str, fn: HandlerFn, cost: CostFn = 0.0) -> None:
+    def register_handler(self, kind: str, fn: HandlerFn, cost: CostFn = 0.0,
+                         span_name: Optional[str] = None) -> None:
         """Route messages of ``kind`` to ``fn``; ``cost`` is extra worker
-        CPU per message (a float, or ``fn(payload) -> float``)."""
+        CPU per message (a float, or ``fn(payload) -> float``).
+
+        ``span_name`` names the service span recorded for traced messages
+        of this kind (default ``svc.<kind>``) — protocols pick meaningful
+        names like ``own_acquire.serve`` so traces read well."""
         if kind in self._handlers:
             raise ValueError(f"handler for {kind!r} already registered")
-        self._handlers[kind] = (fn, cost)
+        self._handlers[kind] = (fn, cost, span_name or f"svc.{kind}")
 
-    def send(self, dst: NodeId, kind: str, payload: Any, size_bytes: int) -> None:
-        """Reliably send a protocol message, charging send-side CPU."""
+    def send(self, dst: NodeId, kind: str, payload: Any, size_bytes: int,
+             ctx=None) -> None:
+        """Reliably send a protocol message, charging send-side CPU.
+
+        ``ctx`` is an optional trace context; when omitted and the send
+        happens inside a message handler, the handler's service-span
+        context is propagated so cross-node causality is preserved without
+        every protocol threading contexts by hand."""
         if not self.alive:
             return
         net = self.params.net
         self.pool.charge(net.msg_cpu_us + net.reliable_overhead_us)
-        self.transport.send(dst, kind, payload, size_bytes)
+        if ctx is None:
+            ctx = self._handler_ctx
+        self.transport.send(dst, kind, payload, size_bytes, ctx=ctx)
 
     def _fence(self, msg: Message) -> bool:
         """Reject traffic from a stale incarnation of ``msg.src``.
@@ -142,15 +160,40 @@ class Node:
         entry = self._handlers.get(msg.kind)
         if entry is None:
             raise KeyError(f"node {self.node_id}: no handler for {msg.kind!r}")
-        fn, cost = entry
+        fn, cost, span_name = entry
         extra = cost(msg.payload) if callable(cost) else cost
         net = self.params.net
+        queue_us = self.pool.queue_delay()
         ready_at = self.pool.charge(net.msg_cpu_us + net.reliable_overhead_us + extra)
-        self.sim.call_at(ready_at, self._run_handler, fn, msg)
+        span = None
+        tracer = self.obs.tracer
+        if tracer and msg.trace_id is not None:
+            # Service span: [arrival, handler-done] on the worker-pool
+            # track, split into queue wait and service time, linked under
+            # the sender's span so the trace crosses the wire.
+            span = tracer.begin(span_name, pid=self.node_id, tid=TID_SVC,
+                                cat="svc", ctx=(msg.trace_id, msg.parent_span),
+                                kind=msg.kind, src=msg.src,
+                                queue_us=queue_us,
+                                service_us=ready_at - self.sim.now - queue_us,
+                                flow=msg.flow_id)
+        self.sim.call_at(ready_at, self._run_handler, fn, msg, span)
 
-    def _run_handler(self, fn: HandlerFn, msg: Message) -> None:
-        if self.alive:
+    def _run_handler(self, fn: HandlerFn, msg: Message, span=None) -> None:
+        if not self.alive:
+            return
+        # The handler runs synchronously; anything it sends inherits this
+        # context (the service span when traced, else the message's own).
+        if span is not None:
+            self._handler_ctx = span.ctx
+        elif msg.trace_id is not None:
+            self._handler_ctx = (msg.trace_id, msg.parent_span)
+        try:
             fn(msg)
+        finally:
+            if span is not None:
+                self.obs.tracer.end(span)
+            self._handler_ctx = None
 
     # ----------------------------------------------------------- processes
 

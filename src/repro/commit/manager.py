@@ -135,7 +135,8 @@ class CommitManager:
         self._latency = obs.registry.histogram("commit.latency_us",
                                                node=self.node_id)
 
-        node.register_handler(KIND_RINV, self._on_rinv, cost=self._rinv_cost)
+        node.register_handler(KIND_RINV, self._on_rinv, cost=self._rinv_cost,
+                              span_name="commit_ack")
         node.register_handler(KIND_RACK, self._on_rack)
         node.register_handler(KIND_RVAL, self._on_rval)
         node.add_view_listener(self._on_view_change)
@@ -158,23 +159,38 @@ class CommitManager:
         pipe = self._coord.get(thread)
         return len(pipe.slots) if pipe else 0
 
-    def wait_for_room(self, thread: int):
+    def wait_for_room(self, thread: int, ctx=None):
         """Generator: blocks while the thread's pipeline is at max depth
-        (back-pressure; the only time replication stalls the app)."""
+        (back-pressure; the only time replication stalls the app).
+
+        ``ctx`` (a trace context) attributes any actual stall to the
+        blocked transaction as a ``commit_wait_room`` span."""
         pipe = self._coord.setdefault(thread, _CoordPipeline())
+        span = None
+        tracer = self.tracer
         while len(pipe.slots) >= self.max_pipeline_depth:
+            if span is None and tracer:
+                span = tracer.begin("commit_wait_room", pid=self.node_id,
+                                    tid=thread, cat="commit", ctx=ctx,
+                                    depth=len(pipe.slots))
             if pipe.room is None or pipe.room.is_set():
                 pipe.room = Event(self.sim)
             yield pipe.room.wait()
+        if span is not None:
+            tracer.end(span)
         return None
 
     def submit(self, thread: int, updates: List[Update],
-               followers: Set[NodeId]) -> Future:
+               followers: Set[NodeId], ctx=None) -> Future:
         """Begin the reliable commit of a locally-committed transaction.
 
         Non-blocking.  Returns a future completing when the transaction is
         reliably committed (tests and durability-sensitive apps may wait on
         it; normal workloads do not).
+
+        ``ctx`` links the slot's ``commit_replicate`` span (and therefore
+        every R-INV and remote ``commit_ack`` service span) to the
+        submitting transaction's trace.
         """
         pipe = self._coord.setdefault(thread, _CoordPipeline())
         slot_no = pipe.next_slot
@@ -199,7 +215,7 @@ class CommitManager:
             # are in and the slot validates (RVAL broadcast).
             slot.span = tracer.begin("commit_replicate", pid=self.node_id,
                                      tid=TID_REPLICATION + thread,
-                                     cat="commit", slot=slot_no,
+                                     cat="commit", ctx=ctx, slot=slot_no,
                                      followers=len(follower_set))
 
         if not prev_done and slot_no > 0:
@@ -212,8 +228,9 @@ class CommitManager:
                         prev_slot.extras.add(f)
 
         self.node.pool.charge(self.params.rcommit_coord_us)
+        inv_ctx = slot.span.ctx if slot.span is not None else None
         for f in follower_set:
-            self.node.send(f, KIND_RINV, inv, inv.size)
+            self.node.send(f, KIND_RINV, inv, inv.size, ctx=inv_ctx)
         if not follower_set:
             # Replication degree 1 or all followers dead: commit instantly.
             self._try_validate(pipe, pipeline_id)

@@ -9,6 +9,7 @@ to explore the system:
 * ``python -m repro locality``              — the §8 locality analyses
 * ``python -m repro smallbank [--remote F]``— one Zeus-vs-baseline point
 * ``python -m repro trace [--out F]``       — capture a Chrome trace
+* ``python -m repro analyze [--jsonl F]``   — critical-path latency breakdown
 * ``python -m repro list``                  — the benchmark catalog
 """
 
@@ -118,8 +119,38 @@ def _cmd_chaos(args) -> int:
     if args.metrics_out:
         write_metrics(result.registry, args.metrics_out)
         print(f"wrote campaign metrics: {args.metrics_out}")
+    if args.trace_out:
+        _dump_worst_chaos_trace(cfg, result, args.trace_out)
     print("verdict         :", "OK" if result.ok else "FAILED")
     return 0 if result.ok else 1
+
+
+def _dump_worst_chaos_trace(cfg, result, path: str) -> None:
+    """Re-run the campaign's worst cell with tracing on; dump span JSONL.
+
+    "Worst" = failed audit first (more audit problems is worse), then most
+    aborts, ties broken by grid order.  Runs are seed-pure, so the re-run
+    reproduces the original cell exactly — the trace is a faithful
+    post-mortem of the run the campaign actually audited.
+    """
+    from ..chaos import generate_schedule, run_chaos_once
+    from ..obs import Observability, Tracer, write_trace_jsonl
+
+    worst = max(
+        result.runs,
+        key=lambda r: (0 if r.ok else 1, len(r.audit.problems()), r.aborted))
+    schedules = {}
+    for i in range(cfg.num_schedules):
+        schedule = generate_schedule(
+            cfg.num_nodes, cfg.duration_us, seed=cfg.schedule_seed_base + i,
+            difficulty=cfg.difficulty, require_crash=(i == 0))
+        schedules[schedule.name] = schedule
+    obs = Observability(tracer=Tracer())
+    run_chaos_once(schedules[worst.schedule_name], worst.seed, cfg, obs=obs)
+    write_trace_jsonl(obs.tracer, path)
+    verdict = "ok" if worst.ok else "FAILED"
+    print(f"wrote worst-cell trace ({worst.schedule_name} seed {worst.seed}, "
+          f"audit {verdict}, {worst.aborted} aborted): {path}")
 
 
 def _cmd_locality(_args) -> int:
@@ -155,7 +186,8 @@ def _cmd_smallbank(args) -> int:
 
     from ..obs import Observability, Tracer, write_chrome_trace, write_metrics
 
-    obs = Observability(tracer=Tracer() if args.trace else None)
+    traced = bool(args.trace or args.analyze or args.flow)
+    obs = Observability(tracer=Tracer() if traced else None)
     wl = SmallbankWorkload(args.nodes, accounts_per_node=1_500,
                            remote_frac=args.remote)
     zeus = ZeusCluster(args.nodes, params=params, catalog=wl.catalog,
@@ -170,6 +202,16 @@ def _cmd_smallbank(args) -> int:
     if args.metrics_out:
         write_metrics(obs.registry, args.metrics_out)
         print(f"wrote metrics snapshot: {args.metrics_out}")
+    if args.flow:
+        from ..obs import folded_stacks
+        with open(args.flow, "w") as fh:
+            for line in folded_stacks(obs.tracer):
+                fh.write(line + "\n")
+        print(f"wrote folded stacks: {args.flow}")
+    if args.analyze:
+        from ..obs import analyze
+        print()
+        print(analyze(obs.tracer).breakdown_table())
 
     wl_b = SmallbankWorkload(args.nodes, accounts_per_node=1_500,
                              remote_frac=args.remote, track_migration=False)
@@ -227,6 +269,55 @@ def _cmd_trace(args) -> int:
         print(f"wrote metrics    : {args.metrics_out}")
     print()
     print(phase_report(obs.tracer))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    """Critical-path latency attribution: breakdown table + folded stacks.
+
+    Consumes a span JSONL trace (``repro trace --jsonl`` /
+    ``repro chaos --trace-out``) or, without ``--jsonl``, runs a short
+    traced SmallBank workload inline and analyzes that.
+    """
+    from ..obs import analyze, folded_stacks, load_jsonl
+
+    if args.jsonl:
+        source = load_jsonl(args.jsonl)
+        print(f"analyzing {args.jsonl} ({len(source)} records)")
+    else:
+        from ..obs import Observability, Tracer
+        from ..sim.params import SimParams
+        from ..workloads import SmallbankWorkload, run_zeus_workload
+        from .zeus_cluster import ZeusCluster
+
+        params = SimParams().scaled_threads(app=2, worker=2)
+        obs = Observability(tracer=Tracer())
+        wl = SmallbankWorkload(args.nodes, accounts_per_node=200,
+                               remote_frac=args.remote)
+        cluster = ZeusCluster(args.nodes, params=params, catalog=wl.catalog,
+                              seed=args.seed, obs=obs)
+        cluster.load(init_value=1_000)
+        stats = run_zeus_workload(cluster, wl.spec_for,
+                                  duration_us=args.duration, threads=2,
+                                  seed=args.seed)
+        print(f"traced inline run: {stats.committed} txns over "
+              f"{args.duration:.0f} us ({args.nodes} nodes, "
+              f"seed {args.seed})")
+        source = obs.tracer
+
+    report = analyze(source)
+    if not report.timelines:
+        print("no traced transactions found "
+              "(was the trace recorded with tracing on?)")
+        return 1
+    print()
+    print(report.breakdown_table())
+    if args.folded:
+        with open(args.folded, "w") as fh:
+            for line in folded_stacks(source):
+                fh.write(line + "\n")
+        print(f"\nwrote folded stacks: {args.folded} "
+              f"(flamegraph.pl-compatible)")
     return 0
 
 
@@ -291,6 +382,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="Chrome trace of the first cell (chaos instants)")
     p_chaos.add_argument("--metrics-out", metavar="FILE", default=None,
                          help="dump campaign chaos.* metrics as JSON")
+    p_chaos.add_argument("--trace-out", metavar="FILE", default=None,
+                         dest="trace_out",
+                         help="re-run the worst-audit cell traced and dump "
+                              "its spans as JSONL (for `repro analyze`)")
 
     sub.add_parser("locality", help="§8 locality analyses")
 
@@ -301,6 +396,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="capture a Chrome trace of the Zeus run")
     p_small.add_argument("--metrics-out", metavar="FILE", default=None,
                          help="dump the metrics registry snapshot as JSON")
+    p_small.add_argument("--analyze", action="store_true",
+                         help="trace the Zeus run and print the "
+                              "critical-path latency breakdown")
+    p_small.add_argument("--flow", metavar="FILE", default=None,
+                         help="trace the Zeus run and write folded-stack "
+                              "(flamegraph) lines")
 
     p_trace = sub.add_parser(
         "trace", help="capture a Chrome trace of a short SmallBank mix")
@@ -317,6 +418,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="simulated run length in us")
     p_trace.add_argument("--seed", type=int, default=1)
 
+    p_analyze = sub.add_parser(
+        "analyze", help="critical-path latency attribution per txn segment")
+    p_analyze.add_argument("--jsonl", metavar="FILE", default=None,
+                           help="analyze an existing span JSONL trace "
+                                "(default: run a traced workload inline)")
+    p_analyze.add_argument("--folded", metavar="FILE", default=None,
+                           help="also write folded-stack (flamegraph) lines")
+    p_analyze.add_argument("--nodes", type=int, default=3)
+    p_analyze.add_argument("--remote", type=float, default=0.2,
+                           help="remote-write fraction for the inline run")
+    p_analyze.add_argument("--duration", type=float, default=5_000.0,
+                           help="inline run length in simulated us")
+    p_analyze.add_argument("--seed", type=int, default=1)
+
     sub.add_parser("list", help="experiment catalog")
 
     args = parser.parse_args(argv)
@@ -327,6 +442,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "locality": _cmd_locality,
         "smallbank": _cmd_smallbank,
         "trace": _cmd_trace,
+        "analyze": _cmd_analyze,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

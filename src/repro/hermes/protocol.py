@@ -78,7 +78,8 @@ class HermesReplica:
         self.tracer = node.obs.tracer
         self.counters = node.obs.registry.group("hermes", node=node.node_id)
 
-        node.register_handler(KIND_HINV, self._on_inv, cost=0.15)
+        node.register_handler(KIND_HINV, self._on_inv, cost=0.15,
+                              span_name="hermes_inv.serve")
         node.register_handler(KIND_HACK, self._on_ack)
         node.register_handler(KIND_HVAL, self._on_val)
 
@@ -106,18 +107,22 @@ class HermesReplica:
         self._writes[(key, ts)] = ctx
         self.counters.inc("writes")
         if self.tracer:
-            ctx.span = self.tracer.begin("hermes_write", pid=self.node_id,
-                                         cat="hermes", key=repr(key),
-                                         ts=list(ts))
+            # Each write roots a trace: the INVs carry the span's context
+            # so remote apply/ack service spans link back to the write.
+            ctx.span = self.tracer.begin(
+                "hermes_write", pid=self.node_id, cat="hermes",
+                ctx=(self.tracer.new_trace(), None), key=repr(key),
+                ts=list(ts))
         self._apply_inv(key, ts, value)
         live = self.node.live_nodes or frozenset(self.replica_ids)
         peers = [r for r in self.replica_ids if r != self.node_id and r in live]
         if not peers:
             self._finish_write(ctx)
             return future
+        inv_ctx = ctx.span.ctx if ctx.span is not None else None
         for peer in peers:
             self.node.send(peer, KIND_HINV, (key, ts, value, self.node_id),
-                           16 + self.value_size)
+                           16 + self.value_size, ctx=inv_ctx)
         return future
 
     def write_blocking(self, key: HermesKey, value: Any):

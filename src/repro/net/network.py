@@ -154,8 +154,15 @@ class Network:
             extra_delay = decision.extra_delay_us
 
         if tracer:
-            tracer.instant("net.send", pid=msg.src, tid=TID_NET, cat="net",
-                           dst=msg.dst, kind=msg.kind, size=msg.size_bytes)
+            if msg.flow_id is not None:
+                tracer.instant("net.send", pid=msg.src, tid=TID_NET,
+                               cat="net", ctx=(msg.trace_id, msg.parent_span),
+                               dst=msg.dst, kind=msg.kind,
+                               size=msg.size_bytes, flow=msg.flow_id)
+            else:
+                tracer.instant("net.send", pid=msg.src, tid=TID_NET,
+                               cat="net", dst=msg.dst, kind=msg.kind,
+                               size=msg.size_bytes)
         base = self.latency(msg.size_bytes) + extra_delay
         factor = self._degraded.get((msg.src, msg.dst))
         if factor is not None:
@@ -173,8 +180,15 @@ class Network:
             self._c_delivered.inc()
             tracer = self.obs.tracer
             if tracer:
-                tracer.instant("net.deliver", pid=msg.dst, tid=TID_NET,
-                               cat="net", src=msg.src, kind=msg.kind)
+                if msg.flow_id is not None:
+                    tracer.instant("net.deliver", pid=msg.dst, tid=TID_NET,
+                                   cat="net",
+                                   ctx=(msg.trace_id, msg.parent_span),
+                                   src=msg.src, kind=msg.kind,
+                                   flow=msg.flow_id)
+                else:
+                    tracer.instant("net.deliver", pid=msg.dst, tid=TID_NET,
+                                   cat="net", src=msg.src, kind=msg.kind)
             endpoint(msg)
 
     # ---------------------------------------------------------- accounting

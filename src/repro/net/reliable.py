@@ -112,20 +112,28 @@ class ReliableTransport:
 
     # ---------------------------------------------------------------- send
 
-    def send(self, dst: NodeId, kind: str, payload: Any, size_bytes: int) -> None:
+    def send(self, dst: NodeId, kind: str, payload: Any, size_bytes: int,
+             ctx=None) -> None:
         """Reliably send an application message (fire-and-forget API; the
-        layer retries until acked or ``max_retransmits`` is exhausted)."""
+        layer retries until acked or ``max_retransmits`` is exhausted).
+
+        ``ctx`` is an optional trace context ``(trace_id, parent_span_id)``
+        stamped on the message so receiver-side spans join the sender's
+        trace; retransmits reuse the stored message and therefore keep the
+        original context and flow id."""
         if self.stopped:
             return
         if dst == self.node_id:
             # Loopback: deliver immediately without touching the wire.
             msg = Message(self.node_id, dst, kind, payload, size_bytes)
             msg.inc = self.incarnation
+            self._stamp_ctx(msg, ctx)
             self.sim.call_soon(self.deliver, msg)
             return
         chan = self._send_chan(dst)
         msg = Message(self.node_id, dst, kind, payload, size_bytes)
         msg.inc = self.incarnation
+        self._stamp_ctx(msg, ctx)
         if self.peer_inc_fn is not None:
             msg.dst_inc = self.peer_inc_fn(dst)
         msg.seq = chan.next_seq
@@ -141,6 +149,15 @@ class ReliableTransport:
             if rchan.ack_timer is not None:
                 rchan.ack_timer.cancel()
                 rchan.ack_timer = None
+
+    def _stamp_ctx(self, msg: Message, ctx) -> None:
+        if ctx is None:
+            return
+        tracer = self.obs.tracer
+        if not tracer:
+            return
+        msg.trace_id, msg.parent_span = ctx
+        msg.flow_id = tracer.next_flow()
 
     def _send_chan(self, dst: NodeId) -> _SendChannel:
         chan = self._send.get(dst)

@@ -8,9 +8,19 @@ in-memory accumulators); tracing defaults to the no-op
 ``python -m repro trace`` for the end-to-end flow.
 """
 
+from .analysis import (
+    SEGMENTS,
+    AnalysisReport,
+    TxnTimeline,
+    analyze,
+    build_timelines,
+    folded_stacks,
+    load_jsonl,
+)
 from .export import (
     chrome_trace_events,
     phase_report,
+    trace_records,
     write_chrome_trace,
     write_metrics,
     write_trace_jsonl,
@@ -30,6 +40,7 @@ from .trace import (
     NULL_TRACER,
     TID_NET,
     TID_REPLICATION,
+    TID_SVC,
     NullTracer,
     Span,
     Tracer,
@@ -50,11 +61,20 @@ __all__ = [
     "Tracer",
     "TID_NET",
     "TID_REPLICATION",
+    "TID_SVC",
     "cdf_points",
     "percentile",
     "chrome_trace_events",
     "phase_report",
+    "trace_records",
     "write_chrome_trace",
     "write_metrics",
     "write_trace_jsonl",
+    "SEGMENTS",
+    "AnalysisReport",
+    "TxnTimeline",
+    "analyze",
+    "build_timelines",
+    "folded_stacks",
+    "load_jsonl",
 ]

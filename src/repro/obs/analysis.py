@@ -1,0 +1,389 @@
+"""Critical-path latency attribution from causal traces.
+
+Where do a transaction's microseconds go?  Zeus's headline claims are
+about exactly this — pipelined ownership acquisition overlapping
+execution (§4) and broadcast commit hiding replication latency (§5) — so
+this module turns a causal trace (spans linked by ``trace``/``parent``
+ids, wire flows linked by ``flow`` ids) into per-transaction
+:class:`TxnTimeline`\\ s, attributing every instant of a transaction's
+end-to-end latency to one of seven named segments:
+
+``local CPU``
+    the application thread is executing (setup, reads, writes, local
+    commit, back-off between retries);
+``wire``
+    the transaction is blocked while a protocol message of its trace is
+    in flight (last wire send → delivery of the copy that arrived);
+``remote-CPU service``
+    blocked while a remote worker serves a handler of its trace;
+``CPU-queue wait``
+    blocked while such a handler sits in a saturated worker pool's queue;
+``retransmit stall``
+    blocked because a message of its trace had to be retransmitted
+    (first send → the send that finally got through);
+``ownership-blocked``
+    residual of an ``own_acquire`` window no finer-grained evidence
+    covers (e.g. the untraced ACK return path, driver think time);
+``replication-ACK wait``
+    residual of the replication windows: pipeline back-pressure
+    (``commit_wait_room``) plus the tail between the app-visible commit
+    and the last ``commit_replicate`` validation of the transaction.
+
+**The invariant**: per transaction, the seven segments partition the
+timeline exactly.  Attribution runs on integer nanoseconds (simulated
+time quantized at 1 ns), so ``sum(segments) == duration`` holds *exactly*,
+not approximately — enforced by a property test.  Within a blocked
+window, overlapping evidence is resolved by fixed precedence
+(retransmit stall > remote-CPU service > CPU-queue wait > wire >
+residual), a critical-path-style union: each nanosecond is charged to
+the most specific cause known for it.
+
+Inputs are the record dicts of :func:`repro.obs.export.trace_records` —
+either straight from a live :class:`~repro.obs.trace.Tracer` or read back
+from a ``--trace-jsonl`` file.  All aggregation is deterministic: same
+seed ⇒ byte-identical report.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .stats import percentile
+from .trace import Tracer
+
+__all__ = ["SEGMENTS", "TxnTimeline", "AnalysisReport", "load_jsonl",
+           "records_of", "build_timelines", "analyze", "folded_stacks"]
+
+#: The segment names, in report order.  ``replication-ACK wait`` is the
+#: exact string the CI smoke job greps for.
+SEGMENTS = (
+    "local CPU",
+    "wire",
+    "remote-CPU service",
+    "CPU-queue wait",
+    "ownership-blocked",
+    "replication-ACK wait",
+    "retransmit stall",
+)
+
+#: Sub-attribution precedence inside a blocked window (highest first).
+_PRECEDENCE = ("retransmit stall", "remote-CPU service", "CPU-queue wait",
+               "wire")
+
+_NS_PER_US = 1000
+
+
+def _ns(t_us: float) -> int:
+    """Quantize simulated µs to integer ns (attribution arithmetic)."""
+    return int(round(t_us * _NS_PER_US))
+
+
+class TxnTimeline:
+    """One transaction's reconstructed, fully-attributed timeline.
+
+    ``start_us``/``end_us`` span from the ``txn`` span's start to the
+    later of its end and the last linked ``commit_replicate`` validation
+    (the paper's "commit latency" includes the replication tail).
+    ``segments_ns`` partitions that interval exactly.
+    """
+
+    __slots__ = ("trace_id", "node", "thread", "kind", "committed",
+                 "start_us", "end_us", "segments_ns")
+
+    def __init__(self, trace_id: int, node: int, thread: int, kind: str,
+                 committed: bool, start_us: float, end_us: float,
+                 segments_ns: Dict[str, int]):
+        self.trace_id = trace_id
+        self.node = node
+        self.thread = thread
+        self.kind = kind
+        self.committed = committed
+        self.start_us = start_us
+        self.end_us = end_us
+        self.segments_ns = segments_ns
+
+    @property
+    def duration_ns(self) -> int:
+        return _ns(self.end_us) - _ns(self.start_us)
+
+    @property
+    def duration_us(self) -> float:
+        return self.duration_ns / _NS_PER_US
+
+    def segment_us(self, name: str) -> float:
+        return self.segments_ns.get(name, 0) / _NS_PER_US
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"TxnTimeline(trace={self.trace_id} n{self.node}"
+                f"/t{self.thread} {self.kind} {self.duration_us:.2f}us)")
+
+
+# ---------------------------------------------------------------- loading
+
+
+def load_jsonl(path: str) -> List[dict]:
+    """Read a ``write_trace_jsonl`` file back into record dicts."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def records_of(source) -> List[dict]:
+    """Normalize a :class:`Tracer` or an iterable of record dicts."""
+    if isinstance(source, Tracer):
+        from .export import trace_records
+        return trace_records(source)
+    return list(source)
+
+
+# ----------------------------------------------------------- timelines
+
+
+def _interval_clip(a: int, b: int, lo: int, hi: int) -> Optional[Tuple[int, int]]:
+    a, b = max(a, lo), min(b, hi)
+    return (a, b) if a < b else None
+
+
+def _wire_intervals(instants: List[dict]):
+    """Per-flow (wire, stall) intervals from ``net.send``/``net.deliver``.
+
+    The wire interval covers the send that actually arrived (last send at
+    or before the first delivery); everything between the first send and
+    that one is retransmit stall.  A flow that never delivered is pure
+    stall (first → last send).
+    """
+    sends: Dict[int, List[int]] = {}
+    delivers: Dict[int, List[int]] = {}
+    for rec in instants:
+        flow = rec["args"].get("flow")
+        if flow is None:
+            continue
+        if rec["name"] == "net.send":
+            sends.setdefault(flow, []).append(_ns(rec["start_us"]))
+        elif rec["name"] == "net.deliver":
+            delivers.setdefault(flow, []).append(_ns(rec["start_us"]))
+    wire: List[Tuple[int, int]] = []
+    stall: List[Tuple[int, int]] = []
+    for flow, ts in sends.items():
+        ts.sort()
+        dl = delivers.get(flow)
+        if dl:
+            arrived = min(dl)
+            candidates = [t for t in ts if t <= arrived]
+            last = candidates[-1] if candidates else ts[0]
+            if last < arrived:
+                wire.append((last, arrived))
+            if ts[0] < last:
+                stall.append((ts[0], last))
+        elif ts[0] < ts[-1]:
+            stall.append((ts[0], ts[-1]))
+    return wire, stall
+
+
+def _svc_intervals(spans: List[dict]):
+    """(queue, service) intervals of handler service spans."""
+    queue: List[Tuple[int, int]] = []
+    service: List[Tuple[int, int]] = []
+    for rec in spans:
+        if rec["cat"] != "svc":
+            continue
+        s, e = _ns(rec["start_us"]), _ns(rec["end_us"])
+        q = s + _ns(rec["args"].get("queue_us", 0.0))
+        q = min(max(q, s), e)
+        if s < q:
+            queue.append((s, q))
+        if q < e:
+            service.append((q, e))
+    return queue, service
+
+
+def _attribute(start: int, end: int,
+               windows: List[Tuple[int, int, str]],
+               details: Dict[str, List[Tuple[int, int]]]) -> Dict[str, int]:
+    """Partition [start, end) ns into segments, exactly.
+
+    ``windows`` are blocked intervals with their residual segment name;
+    anything uncovered is local CPU.  Inside a window, ``details``
+    (stall/service/queue/wire intervals) take precedence over the
+    residual, resolved by :data:`_PRECEDENCE`.
+    """
+    segments = {name: 0 for name in SEGMENTS}
+    if end <= start:
+        return segments
+    bounds = {start, end}
+    for a, b, _name in windows:
+        bounds.update((a, b))
+    for ivs in details.values():
+        for a, b in ivs:
+            bounds.update((a, b))
+    cuts = sorted(b for b in bounds if start <= b <= end)
+    for a, b in zip(cuts, cuts[1:]):
+        if a >= b:
+            continue
+        residual = None
+        for wa, wb, name in windows:
+            if wa <= a and b <= wb:
+                residual = name
+                break
+        if residual is None:
+            segments["local CPU"] += b - a
+            continue
+        chosen = residual
+        for name in _PRECEDENCE:
+            if any(ia <= a and b <= ib for ia, ib in details[name]):
+                chosen = name
+                break
+        segments[chosen] += b - a
+    return segments
+
+
+def build_timelines(source) -> List[TxnTimeline]:
+    """Reconstruct one :class:`TxnTimeline` per traced transaction."""
+    records = records_of(source)
+    by_trace: Dict[int, List[dict]] = {}
+    for rec in records:
+        if rec.get("trace") is not None:
+            by_trace.setdefault(rec["trace"], []).append(rec)
+
+    timelines: List[TxnTimeline] = []
+    for trace_id in sorted(by_trace):
+        recs = by_trace[trace_id]
+        spans = [r for r in recs if r["type"] == "span"]
+        instants = [r for r in recs if r["type"] == "instant"]
+        roots = [s for s in spans
+                 if s["name"] == "txn" and s.get("parent") is None]
+        if not roots:
+            continue  # not a transaction trace (e.g. a hermes write)
+        root = roots[0]
+        start = _ns(root["start_us"])
+        base_end = _ns(root["end_us"])
+        repl_ends = [_ns(s["end_us"]) for s in spans
+                     if s["name"] == "commit_replicate"]
+        end = max([base_end] + repl_ends)
+
+        windows: List[Tuple[int, int, str]] = []
+        for s in spans:
+            if s["name"] == "own_acquire":
+                iv = _interval_clip(_ns(s["start_us"]), _ns(s["end_us"]),
+                                    start, end)
+                if iv:
+                    windows.append((iv[0], iv[1], "ownership-blocked"))
+            elif s["name"] == "commit_wait_room":
+                iv = _interval_clip(_ns(s["start_us"]), _ns(s["end_us"]),
+                                    start, end)
+                if iv:
+                    windows.append((iv[0], iv[1], "replication-ACK wait"))
+        if base_end < end:
+            # The replication tail: the app moved on, the txn is not
+            # reliably committed until the last slot validates.
+            windows.append((base_end, end, "replication-ACK wait"))
+        windows.sort()
+
+        wire, stall = _wire_intervals(instants)
+        queue, service = _svc_intervals(spans)
+        details = {"retransmit stall": stall, "remote-CPU service": service,
+                   "CPU-queue wait": queue, "wire": wire}
+        segments = _attribute(start, end, windows, details)
+
+        args = root.get("args") or {}
+        timelines.append(TxnTimeline(
+            trace_id=trace_id,
+            node=root["node"],
+            thread=root["tid"],
+            kind=args.get("kind", "?"),
+            committed=bool(args.get("committed", False)),
+            start_us=root["start_us"],
+            end_us=end / _NS_PER_US,
+            segments_ns=segments,
+        ))
+    return timelines
+
+
+# ---------------------------------------------------------- aggregation
+
+
+class AnalysisReport:
+    """Aggregated attribution over all traced transactions."""
+
+    __slots__ = ("timelines",)
+
+    def __init__(self, timelines: List[TxnTimeline]):
+        self.timelines = timelines
+
+    @property
+    def committed(self) -> int:
+        return sum(1 for t in self.timelines if t.committed)
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for t in self.timelines if not t.committed)
+
+    def segment_samples(self) -> Dict[str, List[float]]:
+        """Per-segment µs samples, one per transaction (report order)."""
+        out = {name: [] for name in SEGMENTS}
+        for t in self.timelines:
+            for name in SEGMENTS:
+                out[name].append(t.segment_us(name))
+        return out
+
+    def breakdown_table(self) -> str:
+        """The per-segment latency-breakdown table (p50/p99/mean/share)."""
+        n = len(self.timelines)
+        if n == 0:
+            return "latency breakdown: (no traced transactions)"
+        total_ns = sum(t.duration_ns for t in self.timelines)
+        durs = [t.duration_us for t in self.timelines]
+        header = (f"{'segment':<22} {'total_us':>11} {'share':>7} "
+                  f"{'mean_us':>9} {'p50_us':>9} {'p99_us':>9}")
+        lines = [
+            f"latency breakdown: {n} txns "
+            f"({self.committed} committed, {self.aborted} aborted), "
+            f"e2e p50 {percentile(durs, 50):.2f}us "
+            f"p99 {percentile(durs, 99):.2f}us",
+            header,
+            "-" * len(header),
+        ]
+        samples = self.segment_samples()
+        for name in SEGMENTS:
+            vals = samples[name]
+            seg_ns = sum(t.segments_ns.get(name, 0) for t in self.timelines)
+            share = seg_ns / total_ns if total_ns else 0.0
+            lines.append(
+                f"{name:<22} {seg_ns / _NS_PER_US:>11.2f} {share:>6.1%} "
+                f"{sum(vals) / n:>9.2f} "
+                f"{percentile(vals, 50):>9.2f} "
+                f"{percentile(vals, 99):>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+def analyze(source) -> AnalysisReport:
+    """End-to-end: records (or a tracer) → aggregated report."""
+    return AnalysisReport(build_timelines(source))
+
+
+# -------------------------------------------------------- folded stacks
+
+
+def folded_stacks(source) -> List[str]:
+    """Flamegraph-folded lines: ``txn;<segment> <ns>`` per kind+segment.
+
+    Collapsed across transactions of the same kind; values are integer
+    nanoseconds, the format ``flamegraph.pl`` and speedscope ingest.
+    Deterministically sorted.
+    """
+    totals: Dict[str, int] = {}
+    for t in build_timelines(source):
+        base = f"txn.{t.kind}"
+        for name in SEGMENTS:
+            ns = t.segments_ns.get(name, 0)
+            if ns <= 0:
+                continue
+            key = f"{base};{name.replace(' ', '_')}"
+            totals[key] = totals.get(key, 0) + ns
+    return [f"{key} {value}" for key, value in sorted(totals.items())]

@@ -12,6 +12,14 @@ Three consumers, three formats:
 
 All output is deterministically ordered (sim-time, then track, then name),
 so identical seeds yield byte-identical files.
+
+Causality: spans recorded with a trace context carry
+``trace_id``/``span_id``/``parent_id``.  The Chrome export synthesizes
+**flow events** (``ph:"s"``/``ph:"f"``) for every service span that was
+caused by a traced wire message, so Perfetto draws an arrow from the
+sending span (e.g. a coordinator ``txn``) to the remote handler span
+(e.g. ``own_acquire.serve`` on the directory node).  The JSONL export
+carries the raw ids for ``repro analyze``.
 """
 
 from __future__ import annotations
@@ -21,11 +29,12 @@ from typing import Dict, List
 
 from .registry import MetricsRegistry
 from .stats import percentile
-from .trace import TID_NET, TID_REPLICATION, Span, Tracer
+from .trace import TID_NET, TID_REPLICATION, TID_SVC, Span, Tracer
 
 __all__ = [
     "chrome_trace_events",
     "write_chrome_trace",
+    "trace_records",
     "write_trace_jsonl",
     "phase_report",
     "write_metrics",
@@ -37,6 +46,8 @@ def _track_name(tid: int) -> str:
         return "net"
     if tid >= TID_REPLICATION:
         return f"replication.{tid - TID_REPLICATION}"
+    if tid == TID_SVC:
+        return "svc"
     return f"app.{tid}"
 
 
@@ -70,6 +81,50 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict]:
         if inst.args:
             ev["args"] = inst.args
         events.append(ev)
+    events.extend(_flow_events(tracer))
+    return events
+
+
+def _flow_events(tracer: Tracer) -> List[Dict]:
+    """Flow (``ph:"s"``/``ph:"f"``) pairs for message-caused spans.
+
+    For every span created on delivery of a traced wire message (it has a
+    ``flow`` arg and a recorded parent span), emit a flow *start* on the
+    parent's track at the first wire send of that message and a binding
+    flow *finish* at the handler span's start — Perfetto then draws the
+    arrow across nodes.  By construction every ``s`` has its ``f``.
+    """
+    spans_by_id = {s.span_id: s for s in tracer.spans
+                   if s.span_id is not None}
+    first_send: Dict[int, float] = {}
+    for inst in tracer.instants:
+        if inst.name != "net.send" or not inst.args:
+            continue
+        flow = inst.args.get("flow")
+        if flow is None:
+            continue
+        if flow not in first_send or inst.start_us < first_send[flow]:
+            first_send[flow] = inst.start_us
+    events: List[Dict] = []
+    for span in sorted(tracer.spans, key=_sort_key):
+        if span.parent_id is None or not span.args:
+            continue
+        flow = span.args.get("flow")
+        if flow is None:
+            continue
+        parent = spans_by_id.get(span.parent_id)
+        if parent is None:
+            continue
+        # Anchor the start inside the parent slice (a handler may send
+        # after its own span technically closed under clock granularity).
+        ts = first_send.get(flow, parent.start_us)
+        ts = min(max(ts, parent.start_us), parent.end_us)
+        events.append({"ph": "s", "id": flow, "name": span.name,
+                       "cat": "flow", "pid": parent.pid, "tid": parent.tid,
+                       "ts": ts})
+        events.append({"ph": "f", "bp": "e", "id": flow, "name": span.name,
+                       "cat": "flow", "pid": span.pid, "tid": span.tid,
+                       "ts": span.start_us})
     return events
 
 
@@ -82,20 +137,35 @@ def write_chrome_trace(tracer: Tracer, path: str) -> str:
     return path
 
 
-def write_trace_jsonl(tracer: Tracer, path: str) -> str:
-    """One JSON object per span/instant, time-ordered."""
+def trace_records(tracer: Tracer) -> List[Dict]:
+    """The tracer's content as plain, time-ordered record dicts.
+
+    This is the one schema shared by the JSONL export and
+    :mod:`repro.obs.analysis` — a JSONL file read back line-by-line yields
+    exactly these records.
+    """
     records = []
     for span in tracer.spans:
         records.append({"type": "span", "name": span.name, "cat": span.cat,
                         "node": span.pid, "tid": span.tid,
                         "start_us": span.start_us, "end_us": span.end_us,
+                        "trace": span.trace_id, "span": span.span_id,
+                        "parent": span.parent_id,
                         "args": span.args or {}})
     for inst in tracer.instants:
         records.append({"type": "instant", "name": inst.name,
                         "cat": inst.cat, "node": inst.pid, "tid": inst.tid,
                         "start_us": inst.start_us, "end_us": inst.start_us,
+                        "trace": inst.trace_id, "span": inst.span_id,
+                        "parent": inst.parent_id,
                         "args": inst.args or {}})
     records.sort(key=lambda r: (r["start_us"], r["node"], r["tid"], r["name"]))
+    return records
+
+
+def write_trace_jsonl(tracer: Tracer, path: str) -> str:
+    """One JSON object per span/instant, time-ordered."""
+    records = trace_records(tracer)
     with open(path, "w") as fh:
         for record in records:
             fh.write(json.dumps(record, sort_keys=True,

@@ -10,9 +10,22 @@ Track layout (mapped to Chrome trace-event pid/tid):
 
 * ``pid``   — the node id;
 * ``tid``   — the application thread for ``txn`` / ``execute`` /
-  ``own_acquire`` spans, :data:`TID_REPLICATION`\\ ``+ thread`` for the
-  pipelined ``commit_replicate`` spans (they outlive their transaction, so
-  they get their own track), and :data:`TID_NET` for wire-level events.
+  ``own_acquire`` spans, :data:`TID_SVC` for datastore-worker service
+  spans, :data:`TID_REPLICATION`\\ ``+ thread`` for the pipelined
+  ``commit_replicate`` spans (they outlive their transaction, so they get
+  their own track), and :data:`TID_NET` for wire-level events.
+
+Causal linkage: every span carries a ``span_id`` (unique, monotonically
+assigned) and optionally a ``trace_id``/``parent_id`` pair — the *trace
+context*.  A context is a plain ``(trace_id, span_id)`` tuple; passing one
+as ``ctx=`` to :meth:`Tracer.begin` links the new span under that parent,
+across nodes.  Protocol messages carry the sender's context so spans on
+remote nodes join the originating transaction's trace (see
+``repro.net.message.Message`` and ``repro.obs.analysis`` for the
+consumers).  Wire messages additionally get a ``flow`` id (one per
+message) so the exporter can pair ``net.send``/``net.deliver`` instants
+into Chrome flow arrows and the analyzer can measure wire time and
+retransmit stalls.
 
 The default tracer everywhere is :data:`NULL_TRACER`: falsy, stateless,
 and method calls are no-ops, so instrumented call sites guard with
@@ -22,24 +35,34 @@ allocations, no simulator events.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER",
-           "TID_REPLICATION", "TID_NET"]
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "TraceCtx",
+           "TID_REPLICATION", "TID_NET", "TID_SVC"]
 
+#: tid for datastore-worker-pool service spans (message handling).
+TID_SVC = 500
 #: tid base for reliable-commit pipeline spans (one track per app thread).
 TID_REPLICATION = 1000
 #: tid for wire-level network events.
 TID_NET = 9999
 
+#: A trace context: ``(trace_id, parent_span_id)``.  ``parent_span_id``
+#: may be None for a trace root.
+TraceCtx = Tuple[int, Optional[int]]
+
 
 class Span:
     """One named interval (or instant, when ``end_us == start_us``)."""
 
-    __slots__ = ("name", "cat", "pid", "tid", "start_us", "end_us", "args")
+    __slots__ = ("name", "cat", "pid", "tid", "start_us", "end_us", "args",
+                 "trace_id", "span_id", "parent_id")
 
     def __init__(self, name: str, cat: str, pid: int, tid: int,
-                 start_us: float, args: Optional[Dict[str, Any]] = None):
+                 start_us: float, args: Optional[Dict[str, Any]] = None,
+                 trace_id: Optional[int] = None,
+                 span_id: Optional[int] = None,
+                 parent_id: Optional[int] = None):
         self.name = name
         self.cat = cat
         self.pid = pid
@@ -47,10 +70,23 @@ class Span:
         self.start_us = start_us
         self.end_us: Optional[float] = None
         self.args = args
+        #: Trace this span belongs to (None = untraced/standalone).
+        self.trace_id = trace_id
+        #: Unique id of this span within its tracer.
+        self.span_id = span_id
+        #: span_id of the causal parent (possibly on another node).
+        self.parent_id = parent_id
 
     @property
     def duration_us(self) -> float:
         return (self.end_us or self.start_us) - self.start_us
+
+    @property
+    def ctx(self) -> Optional[TraceCtx]:
+        """This span as a trace context for children/messages."""
+        if self.trace_id is None:
+            return None
+        return (self.trace_id, self.span_id)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"Span({self.name} n{self.pid}/t{self.tid} "
@@ -61,10 +97,11 @@ class Tracer:
     """Records spans and instant events against a simulator clock.
 
     ``sim`` may be bound after construction (the cluster builder owns the
-    simulator); recording before binding is a programming error.
+    simulator); recording before binding raises a clear error.
     """
 
-    __slots__ = ("sim", "spans", "instants")
+    __slots__ = ("sim", "spans", "instants", "_next_span", "_next_trace",
+                 "_next_flow")
 
     enabled = True
 
@@ -74,16 +111,48 @@ class Tracer:
         self.spans: List[Span] = []
         #: Instant events, in emission order.
         self.instants: List[Span] = []
+        self._next_span = 0
+        self._next_trace = 0
+        self._next_flow = 0
 
     def __bool__(self) -> bool:
         return True
 
+    def _now(self) -> float:
+        if self.sim is None:
+            raise RuntimeError(
+                "tracer used before sim bound: pass the Simulator to "
+                "Tracer(sim) or set tracer.sim before recording (the "
+                "cluster builder binds it automatically)")
+        return self.sim.now
+
+    # -------------------------------------------------------------- contexts
+
+    def new_trace(self) -> int:
+        """Allocate a fresh trace id (one per logical transaction)."""
+        self._next_trace += 1
+        return self._next_trace
+
+    def next_flow(self) -> int:
+        """Allocate a fresh flow id (one per traced wire message)."""
+        self._next_flow += 1
+        return self._next_flow
+
     # ------------------------------------------------------------ recording
 
     def begin(self, name: str, pid: int, tid: int = 0, cat: str = "span",
-              **args: Any) -> Span:
-        """Open a span at the current simulated time."""
-        return Span(name, cat, pid, tid, self.sim.now, args or None)
+              ctx: Optional[TraceCtx] = None, **args: Any) -> Span:
+        """Open a span at the current simulated time.
+
+        ``ctx`` links the span into an existing trace as a child of the
+        given parent span (which may live on another node).
+        """
+        now = self._now()
+        self._next_span += 1
+        trace_id, parent_id = ctx if ctx is not None else (None, None)
+        return Span(name, cat, pid, tid, now, args or None,
+                    trace_id=trace_id, span_id=self._next_span,
+                    parent_id=parent_id)
 
     def end(self, span: Span, **args: Any) -> None:
         """Close ``span`` now and record it."""
@@ -96,9 +165,15 @@ class Tracer:
         self.spans.append(span)
 
     def instant(self, name: str, pid: int, tid: int = TID_NET,
-                cat: str = "event", **args: Any) -> None:
+                cat: str = "event", ctx: Optional[TraceCtx] = None,
+                **args: Any) -> None:
         """Record a point event at the current simulated time."""
-        ev = Span(name, cat, pid, tid, self.sim.now, args or None)
+        now = self._now()
+        self._next_span += 1
+        trace_id, parent_id = ctx if ctx is not None else (None, None)
+        ev = Span(name, cat, pid, tid, now, args or None,
+                  trace_id=trace_id, span_id=self._next_span,
+                  parent_id=parent_id)
         ev.end_us = ev.start_us
         self.instants.append(ev)
 
@@ -128,15 +203,22 @@ class NullTracer:
     def __bool__(self) -> bool:
         return False
 
+    def new_trace(self) -> int:
+        return 0
+
+    def next_flow(self) -> int:
+        return 0
+
     def begin(self, name: str, pid: int, tid: int = 0, cat: str = "span",
-              **args: Any) -> None:
+              ctx: Optional[TraceCtx] = None, **args: Any) -> None:
         return None
 
     def end(self, span, **args: Any) -> None:
         pass
 
     def instant(self, name: str, pid: int, tid: int = TID_NET,
-                cat: str = "event", **args: Any) -> None:
+                cat: str = "event", ctx: Optional[TraceCtx] = None,
+                **args: Any) -> None:
         pass
 
 

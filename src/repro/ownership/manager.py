@@ -159,8 +159,10 @@ class OwnershipManager(LifecycleMixin):
                                                node=self.node_id)
 
         cost = self.params.own_arbitrate_us
-        node.register_handler(KIND_REQ, self._on_req, cost=cost)
-        node.register_handler(KIND_INV, self._on_inv, cost=cost)
+        node.register_handler(KIND_REQ, self._on_req, cost=cost,
+                              span_name="own_acquire.serve")
+        node.register_handler(KIND_INV, self._on_inv, cost=cost,
+                              span_name="own_inv.serve")
         node.register_handler(KIND_ACK, self._on_ack)
         node.register_handler(KIND_NACK, self._on_nack)
         node.register_handler(KIND_VAL, self._on_val)
@@ -218,19 +220,22 @@ class OwnershipManager(LifecycleMixin):
     # ======================================================================
 
     def acquire(self, oid: ObjectId, req_type: ReqType = ReqType.ACQUIRE_OWNER,
-                victim: Optional[NodeId] = None, thread: int = 0):
+                victim: Optional[NodeId] = None, thread: int = 0, ctx=None):
         """Blocking ownership request (generator; use with ``yield from``).
 
         Returns an :class:`AcquireOutcome`.  Concurrent requests for the
         same object on this node coalesce onto one in-flight request; the
         caller re-checks its access level afterwards and retries if needed.
-        ``thread`` only labels the trace span's track.
+        ``thread`` only labels the trace span's track; ``ctx`` is the
+        caller's trace context (the transaction span) — the REQ carries the
+        acquire span's context so the driver/arbiter service spans link
+        back to this transaction across the wire.
         """
         tracer = self.tracer
         existing = self._req_by_oid.get(oid)
         if existing is not None and not existing.done:
             span = (tracer.begin("own_acquire", pid=self.node_id, tid=thread,
-                                 cat="ownership", oid=oid,
+                                 cat="ownership", ctx=ctx, oid=oid,
                                  type=req_type.name, coalesced=True)
                     if tracer else None)
             outcome = yield existing.future
@@ -241,12 +246,13 @@ class OwnershipManager(LifecycleMixin):
 
         req_id = (self.node_id, self._next_req_id)
         self._next_req_id += 1
-        ctx = _ReqCtx(req_id, oid, req_type, victim, Future(self.sim), self.sim.now)
-        self._reqs[req_id] = ctx
-        self._req_by_oid[oid] = ctx
+        rctx = _ReqCtx(req_id, oid, req_type, victim, Future(self.sim), self.sim.now)
+        self._reqs[req_id] = rctx
+        self._req_by_oid[oid] = rctx
         self.counters.inc(f"req.{req_type.name.lower()}")
         span = (tracer.begin("own_acquire", pid=self.node_id, tid=thread,
-                             cat="ownership", oid=oid, type=req_type.name)
+                             cat="ownership", ctx=ctx, oid=oid,
+                             type=req_type.name)
                 if tracer else None)
 
         obj = self.store.get(oid)
@@ -254,12 +260,13 @@ class OwnershipManager(LifecycleMixin):
             obj.o_state = OState.REQUEST
 
         driver = self._choose_driver(oid)
-        ctx.timeout_handle = self.sim.call_after(
+        rctx.timeout_handle = self.sim.call_after(
             self._req_timeout_us(), self._on_timeout, req_id
         )
         req = OwnReq(req_id, oid, self.node_id, req_type, self.node.epoch, victim)
-        self.node.send(driver, KIND_REQ, req, OwnReq.size)
-        outcome = yield ctx.future
+        self.node.send(driver, KIND_REQ, req, OwnReq.size,
+                       ctx=span.ctx if span is not None else None)
+        outcome = yield rctx.future
         if span is not None:
             # NACK/timeout annotations ride on the span for retry analysis.
             tracer.end(span, granted=outcome.granted,

@@ -95,6 +95,8 @@ class RecoveryManager:
         #: Objects a repair acquisition is already in flight for.
         self._repairing: Set[ObjectId] = set()
         self._transfer_span = None
+        #: Open ``recovery.quarantine`` span: restart → admit view.
+        self._quarantine_span = None
 
         obs = node.obs
         self.tracer = obs.tracer
@@ -137,6 +139,11 @@ class RecoveryManager:
         if self.tracer:
             self.tracer.instant("recovery.restart", pid=self.node_id,
                                 cat="recovery", inc=self.node.incarnation)
+            # Quarantine window: the reboot drops all inbound traffic until
+            # membership re-admits us (span closed at the admit view).
+            self._quarantine_span = self.tracer.begin(
+                "recovery.quarantine", pid=self.node_id, cat="recovery",
+                inc=self.node.incarnation)
 
     def _on_view_change(self, epoch: int, live: frozenset) -> None:
         if self._awaiting and self.node_id in live:
@@ -144,6 +151,9 @@ class RecoveryManager:
             self._awaiting = False
             self._admitted_at = self.sim.now
             self.counters.inc("rejoins")
+            if self._quarantine_span is not None:
+                self.tracer.end(self._quarantine_span, epoch=epoch)
+                self._quarantine_span = None
             self._begin_transfer(live)
             return
         if self._pending_donors and not (self._pending_donors <= live):

@@ -108,6 +108,15 @@ class CpuPool:
         """Charge without a future; returns the finish time."""
         return self._assign(cost)
 
+    def queue_delay(self) -> float:
+        """How long a job arriving *now* would wait before any worker frees.
+
+        Zero when some worker is idle; otherwise the gap until the
+        earliest-free worker.  Read-only — used by tracing to split a
+        handler's latency into queue wait vs. service time.
+        """
+        return max(0.0, self._free_heap[0] - self.sim.now)
+
     def _assign(self, cost: float) -> float:
         if cost < 0:
             raise ValueError(f"negative cost {cost}")

@@ -94,10 +94,15 @@ class ZeusAPI:
         start = self.node.sim.now
         compute = compute or _default_compute
         tracer = self.tracer
+        # Each logical transaction roots a fresh trace; everything it
+        # causes — acquires, remote arbitration, replication — links back.
         tspan = (tracer.begin("txn", pid=self.node.node_id, tid=thread,
-                              cat="txn", kind="write") if tracer else None)
+                              cat="txn", ctx=(tracer.new_trace(), None),
+                              kind="write") if tracer else None)
+        tctx = tspan.ctx if tspan is not None else None
         committed = yield from self._fast_write(thread, write_set, read_set,
-                                                exec_us, compute, result)
+                                                exec_us, compute, result,
+                                                ctx=tctx)
         if committed:
             result.committed = True
             result.latency_us = self.node.sim.now - start
@@ -107,8 +112,10 @@ class ZeusAPI:
         backoff = self.params.own_backoff_us
         for _attempt in range(self.max_retries):
             txn = self.tr_create(thread)
+            txn.ctx = tctx
             espan = (tracer.begin("execute", pid=self.node.node_id,
-                                  tid=thread, cat="txn", attempt=_attempt)
+                                  tid=thread, cat="txn", ctx=tctx,
+                                  attempt=_attempt)
                      if tracer else None)
             try:
                 yield self.params.txn_setup_us
@@ -153,7 +160,9 @@ class ZeusAPI:
         start = self.node.sim.now
         tracer = self.tracer
         tspan = (tracer.begin("txn", pid=self.node.node_id, tid=thread,
-                              cat="txn", kind="read") if tracer else None)
+                              cat="txn", ctx=(tracer.new_trace(), None),
+                              kind="read") if tracer else None)
+        tctx = tspan.ctx if tspan is not None else None
         committed = yield from self._fast_read(read_set, exec_us, result)
         if committed:
             result.committed = True
@@ -164,8 +173,10 @@ class ZeusAPI:
         backoff = self.params.own_backoff_us
         for _attempt in range(self.max_retries):
             txn = self.tr_r_create(thread)
+            txn.ctx = tctx
             espan = (tracer.begin("execute", pid=self.node.node_id,
-                                  tid=thread, cat="txn", attempt=_attempt)
+                                  tid=thread, cat="txn", ctx=tctx,
+                                  attempt=_attempt)
                      if tracer else None)
             try:
                 yield self.params.txn_setup_us
@@ -225,7 +236,7 @@ class ZeusAPI:
         return True
 
     def _fast_write(self, thread: int, write_set, read_set, exec_us: float,
-                    compute: ComputeFn, result: TxnResult):
+                    compute: ComputeFn, result: TxnResult, ctx=None):
         """Generator: the all-local conflict-free write fast path.
 
         Semantically identical to the interactive path — same locks, same
@@ -307,7 +318,7 @@ class ZeusAPI:
             if obj.locked_by == me:
                 obj.locked_by = None
         if updates:
-            cm.submit(thread, updates, followers)
+            cm.submit(thread, updates, followers, ctx=ctx)
         return True
 
     # --------------------------------------------------------- direct reads

@@ -59,6 +59,10 @@ class _TxnBase:
         self.thread = thread
         self.params = node.params
         self.stats = TxnStats()
+        #: Trace context of the enclosing transaction span (set by the API
+        #: layer when tracing); threaded into ownership acquires and the
+        #: reliable-commit submit so remote work links back to this txn.
+        self.ctx = None
 
 
 class Transaction(_TxnBase):
@@ -137,8 +141,9 @@ class Transaction(_TxnBase):
         self._release_locks()
         self._finished = True
         if updates:
-            yield from self.commit_mgr.wait_for_room(self.thread)
-            self.commit_mgr.submit(self.thread, updates, followers)
+            yield from self.commit_mgr.wait_for_room(self.thread, ctx=self.ctx)
+            self.commit_mgr.submit(self.thread, updates, followers,
+                                   ctx=self.ctx)
         return True
 
     def abort(self) -> None:
@@ -181,7 +186,7 @@ class Transaction(_TxnBase):
                 return obj
             self.stats.ownership_requests += 1
             outcome = yield from self.ownership.acquire(
-                oid, ReqType.ACQUIRE_OWNER, thread=self.thread)
+                oid, ReqType.ACQUIRE_OWNER, thread=self.thread, ctx=self.ctx)
             if outcome.granted:
                 self.stats.acquired_objects += 1
                 continue  # re-check level (coalesced requests may differ)
@@ -196,7 +201,7 @@ class Transaction(_TxnBase):
                 return obj
             self.stats.ownership_requests += 1
             outcome = yield from self.ownership.acquire(
-                oid, ReqType.ADD_READER, thread=self.thread)
+                oid, ReqType.ADD_READER, thread=self.thread, ctx=self.ctx)
             if outcome.granted:
                 self.stats.acquired_objects += 1
                 continue
@@ -225,7 +230,7 @@ class ReadOnlyTransaction(_TxnBase):
             # routes read-only transactions to replicas).
             self.stats.ownership_requests += 1
             outcome = yield from self.ownership.acquire(
-                oid, ReqType.ADD_READER, thread=self.thread)
+                oid, ReqType.ADD_READER, thread=self.thread, ctx=self.ctx)
             if not outcome.granted:
                 raise TxnAborted(AbortReason.OWNERSHIP_DENIED)
             obj = self.store.get(oid)
