@@ -72,6 +72,7 @@ class BaselineEngine:
         self._pending: Dict[int, Future] = {}
         self.counters = node.obs.registry.group("baseline",
                                                 node=node.node_id)
+        self.hist = node.obs.history
 
         node.register_handler(KIND_RPC, self._on_rpc, cost=self._rpc_cost)
         node.register_handler(KIND_REPLY, self._on_reply)
@@ -175,7 +176,11 @@ class BaselineEngine:
         result = BaselineResult()
         start = self.sim.now
         p = self.params
+        hist = self.hist
+        hop = (hist.begin(self.node_id, txn_tag[-1], "write", start)
+               if hist else None)
         backoff = p.own_backoff_us
+        fetch_at = start
         for _attempt in range(max_retries):
             n_access = len(write_set) + len(read_set)
             yield cpu.execute(p.txn_setup_us + self.profile.coord_overhead_us
@@ -197,6 +202,7 @@ class BaselineEngine:
                 replies = yield all_of(self.sim, [f for _o, f in remote_reads])
                 for (oid, _f), (_value, version) in zip(remote_reads, replies):
                     versions[oid] = version
+            fetch_at = self.sim.now
             if exec_us > 0:
                 yield cpu.execute(exec_us)
 
@@ -204,12 +210,23 @@ class BaselineEngine:
                                                read_set, versions)
             if ok:
                 result.committed = True
+                if hist:
+                    commit_at = self.sim.now
+                    for oid in read_set:
+                        hist.read(hop, oid, versions[oid], fetch_at)
+                    for oid in write_set:
+                        hist.write(hop, oid, versions.get(oid, 0) + 1,
+                                   commit_at)
                 break
             result.aborts += 1
             self.counters.inc("aborts")
             yield backoff * (0.5 + self.rng.random())
             backoff = min(backoff * 2, p.own_backoff_max_us)
         result.latency_us = self.sim.now - start
+        if hist:
+            hist.respond(hop, result.committed, self.sim.now)
+            # The baseline's blocking commit is durable when it responds.
+            hist.mark_durable(hop)
         if result.committed:
             self.counters.inc("committed")
         return result
@@ -320,7 +337,10 @@ class BaselineEngine:
         result = BaselineResult()
         start = self.sim.now
         p = self.params
+        hist = self.hist
+        hop = (hist.begin(self.node_id, 0, "read", start) if hist else None)
         backoff = p.own_backoff_us
+        fetch_at = start
         for _attempt in range(max_retries):
             yield cpu.execute(p.txn_setup_us
                               + len(read_set) * self.profile.per_access_cpu_us)
@@ -338,6 +358,7 @@ class BaselineEngine:
                 replies = yield all_of(self.sim, [f for _o, f in futs])
                 for (oid, _f), (_value, version) in zip(futs, replies):
                     versions[oid] = version
+            fetch_at = self.sim.now
             if exec_us > 0:
                 yield cpu.execute(exec_us)
             # Result assembly / version re-check (cost parity with Zeus's
@@ -362,9 +383,15 @@ class BaselineEngine:
             if ok:
                 result.committed = True
                 self.counters.inc("committed_ro")
+                if hist:
+                    for oid in read_set:
+                        hist.read(hop, oid, versions[oid], fetch_at)
                 break
             result.aborts += 1
             yield backoff * (0.5 + self.rng.random())
             backoff = min(backoff * 2, p.own_backoff_max_us)
         result.latency_us = self.sim.now - start
+        if hist:
+            hist.respond(hop, result.committed, self.sim.now)
+            hist.mark_durable(hop)
         return result

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..harness.zeus_cluster import ZeusCluster
-from ..obs import MetricsRegistry, Observability
+from ..obs import HistoryRecorder, MetricsRegistry, Observability
 from ..sim.params import FaultParams, SimParams
 from ..store.catalog import Catalog
 from ..verify.audit import AuditReport, CommitLedger, audit_run
@@ -56,6 +56,9 @@ class CampaignConfig:
     lease_us: float = 1_500.0
     heartbeat_us: float = 150.0
     faults_baseline: FaultParams = field(default_factory=FaultParams)
+    #: Record each run's transaction history and audit it for strict
+    #: serializability (``repro chaos --check-history``).
+    check_history: bool = False
 
 
 @dataclass
@@ -142,6 +145,15 @@ def _build_cluster(cfg: CampaignConfig, seed: int,
 def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
                    obs: Optional[Observability] = None) -> RunReport:
     """Execute one audited run of ``schedule`` under run-seed ``seed``."""
+    recorder: Optional[HistoryRecorder] = None
+    if cfg.check_history:
+        # Per-run recorder layered over the (possibly shared) campaign
+        # registry/tracer: histories must not leak across runs.
+        recorder = HistoryRecorder()
+        obs = Observability(
+            registry=obs.registry if obs is not None else None,
+            tracer=obs.tracer if obs is not None else None,
+            history=recorder)
     cluster = _build_cluster(cfg, seed, obs)
     engine = ChaosEngine(cluster)
     engine.install(schedule)
@@ -169,7 +181,7 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
     # detection, commit replay and arb-replay all finish in this window.
     cluster.run(until=cfg.duration_us + cfg.quiesce_us)
 
-    audit = audit_run(cluster, ledger, initial_value=0)
+    audit = audit_run(cluster, ledger, initial_value=0, history=recorder)
     failures = cluster.failures
     timeline = [f"crash(t={t:.0f},n{n})" for t, n in failures.crashed]
     timeline += [f"recover(t={t:.0f},n{n})" for t, n in failures.recovered]

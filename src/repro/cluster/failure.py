@@ -79,6 +79,9 @@ class FailureInjector:
             node.crash()
             self.crashed.append((self.sim.now, node.node_id))
             self._c_crashes.inc()
+            hist = self.obs.history
+            if hist:
+                hist.on_crash(node.node_id, self.sim.now)
             tracer = self.obs.tracer
             if tracer:
                 tracer.instant("chaos.crash", pid=node.node_id, tid=TID_NET,

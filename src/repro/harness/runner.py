@@ -6,6 +6,7 @@ to explore the system:
 * ``python -m repro quickstart``            — the README tour
 * ``python -m repro verify [--seeds N]``    — model checkers + explorer
 * ``python -m repro chaos [--seeds N]``     — chaos campaign + audits
+* ``python -m repro check [--seeds N]``     — strict-serializability check
 * ``python -m repro locality``              — the §8 locality analyses
 * ``python -m repro smallbank [--remote F]``— one Zeus-vs-baseline point
 * ``python -m repro trace [--out F]``       — capture a Chrome trace
@@ -82,6 +83,7 @@ def _cmd_chaos(args) -> int:
         seeds=tuple(range(args.seeds)),
         difficulty=args.difficulty,
         schedule_seed_base=args.schedule_seed_base,
+        check_history=args.check_history,
     )
 
     if args.show_schedules:
@@ -123,6 +125,45 @@ def _cmd_chaos(args) -> int:
         _dump_worst_chaos_trace(cfg, result, args.trace_out)
     print("verdict         :", "OK" if result.ok else "FAILED")
     return 0 if result.ok else 1
+
+
+def _cmd_check(args) -> int:
+    """Strict-serializability check over fault-injected runs.
+
+    Two surfaces: the explorer (random jitter + optional crash per seed)
+    and one difficulty-2 chaos schedule (crash → recover) with the
+    history audit on.  Exit 0 only if every recorded history checks out.
+    """
+    from ..chaos import CampaignConfig, generate_schedule, run_chaos_once
+    from ..verify import ExplorerConfig, explore
+
+    ok = True
+    swept = explore(seeds=args.seeds,
+                    cfg=ExplorerConfig(txns_per_node=args.txns,
+                                       check_history=True))
+    print(f"explorer        : {swept.seeds_run} histories "
+          f"({swept.histories_with_crash} with crashes), "
+          f"{swept.committed_total} txns committed")
+    for line in swept.history_digests:
+        print(f"  {line}")
+    for violation in swept.history_violations:
+        print(f"  HISTORY VIOLATION: {violation}")
+        ok = False
+
+    cfg = CampaignConfig(difficulty=2, seeds=(0,), check_history=True)
+    schedule = generate_schedule(
+        cfg.num_nodes, cfg.duration_us, seed=cfg.schedule_seed_base,
+        difficulty=cfg.difficulty, require_crash=True)
+    report = run_chaos_once(schedule, cfg.seeds[0], cfg)
+    print(f"chaos history   : {schedule.name} seed {cfg.seeds[0]}: "
+          f"{report.committed} committed  "
+          f"[{', '.join(report.timeline)}]")
+    for audit_name, problem in report.audit.problems():
+        print(f"  AUDIT [{audit_name}]: {problem}")
+        ok = False
+
+    print("verdict         :", "OK" if ok else "FAILED")
+    return 0 if ok else 1
 
 
 def _dump_worst_chaos_trace(cfg, result, path: str) -> None:
@@ -376,6 +417,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chaos.add_argument("--quiesce", type=float, default=30_000.0,
                          help="drain window before audit (default %(default)s)")
     p_chaos.add_argument("--schedule-seed-base", type=int, default=100)
+    p_chaos.add_argument("--check-history", action="store_true",
+                         help="record each run's transaction history and "
+                              "audit it for strict serializability")
     p_chaos.add_argument("--show-schedules", action="store_true",
                          help="print the generated fault timelines and exit")
     p_chaos.add_argument("--trace", metavar="FILE", default=None,
@@ -386,6 +430,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                          dest="trace_out",
                          help="re-run the worst-audit cell traced and dump "
                               "its spans as JSONL (for `repro analyze`)")
+
+    p_check = sub.add_parser(
+        "check", help="strict-serializability check over seeded runs")
+    p_check.add_argument("--seeds", type=int, default=5,
+                         help="explorer histories to check "
+                              "(default %(default)s)")
+    p_check.add_argument("--txns", type=int, default=15,
+                         help="transactions per node per history "
+                              "(default %(default)s)")
 
     sub.add_parser("locality", help="§8 locality analyses")
 
@@ -439,6 +492,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "quickstart": _cmd_quickstart,
         "verify": _cmd_verify,
         "chaos": _cmd_chaos,
+        "check": _cmd_check,
         "locality": _cmd_locality,
         "smallbank": _cmd_smallbank,
         "trace": _cmd_trace,

@@ -25,6 +25,12 @@ from .export import (
     write_metrics,
     write_trace_jsonl,
 )
+from .history import (
+    NULL_HISTORY,
+    HistoryOp,
+    HistoryRecorder,
+    NullHistoryRecorder,
+)
 from .registry import (
     Counter,
     CounterGroup,
@@ -57,6 +63,10 @@ __all__ = [
     "ThroughputMeter",
     "NullTracer",
     "NULL_TRACER",
+    "HistoryOp",
+    "HistoryRecorder",
+    "NullHistoryRecorder",
+    "NULL_HISTORY",
     "Span",
     "Tracer",
     "TID_NET",

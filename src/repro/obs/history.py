@@ -1,0 +1,211 @@
+"""Client-observable transaction history recording.
+
+A :class:`HistoryRecorder` captures, for every transaction the workload
+layer runs, the *externally visible* facts a strict-serializability
+checker needs: the invocation/response window in simulated time, the
+read set with the versions actually observed, the write set with the
+versions installed, and the outcome.  Nothing protocol-internal is
+recorded — the checker (``repro.verify.history``) must reconstruct a
+serial order from exactly what a client could see, the same way Elle
+checks Jepsen histories.
+
+Outcomes
+--------
+
+``"committed"``
+    The transaction responded success to its caller.
+``"aborted"``
+    The transaction responded failure; its writes never became visible.
+``"indeterminate"``
+    The coordinator crashed while the outcome was still in flight — the
+    transaction had installed writes locally (Zeus's commit point) but
+    replication had not been acknowledged by every live follower, or it
+    never responded at all.  The checker must treat these as
+    *maybe-committed*: their writes may or may not be observed by later
+    readers, and neither is a violation.
+
+Durability is tracked separately from commit: a Zeus write transaction
+responds at **local commit** (the irrevocable point under no-crash
+operation), while :meth:`mark_durable` flips once every live follower
+acked the reliable-commit pipeline.  :meth:`on_crash` downgrades
+committed-but-not-yet-durable ops on the crashed node to indeterminate.
+
+The durability instant (:attr:`HistoryOp.durable_at`) doubles as the
+write's *visibility point* for real-time ordering: under Zeus's early
+commit ack (§5.2) the client hears "committed" at local commit, while
+remote replicas serve the old Valid version until the in-flight R-INVs
+land — by design, not by bug.  The checker therefore anchors a write's
+real-time obligations at ``durable_at`` when one was recorded.
+
+The default recorder everywhere is :data:`NULL_HISTORY` — falsy and
+no-op, the same zero-overhead pattern as
+:data:`~repro.obs.trace.NULL_TRACER` — so instrumented call sites guard
+with ``if hist:`` and pay one falsy check when recording is off.
+
+Timestamps are passed explicitly (``now=``) rather than read from a
+simulator binding, which keeps the recorder trivially usable for
+hand-built histories in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["HistoryOp", "HistoryRecorder", "NullHistoryRecorder",
+           "NULL_HISTORY", "COMMITTED", "ABORTED", "INDETERMINATE"]
+
+COMMITTED = "committed"
+ABORTED = "aborted"
+INDETERMINATE = "indeterminate"
+
+
+class HistoryOp:
+    """One recorded transaction: window, read set, write set, outcome."""
+
+    __slots__ = ("op_id", "node", "thread", "kind", "invoked_at",
+                 "responded_at", "reads", "writes", "outcome", "durable",
+                 "durable_at")
+
+    def __init__(self, op_id: int, node: int, thread: int, kind: str,
+                 invoked_at: float):
+        self.op_id = op_id
+        self.node = node
+        self.thread = thread
+        self.kind = kind                  # "write" | "read"
+        self.invoked_at = invoked_at
+        self.responded_at: Optional[float] = None
+        #: ``(oid, observed_version, observed_at)`` per read.
+        self.reads: List[Tuple[Any, int, float]] = []
+        #: ``(oid, installed_version, installed_at)`` per write.
+        self.writes: List[Tuple[Any, int, float]] = []
+        self.outcome: Optional[str] = None
+        self.durable = False
+        #: When replication fully acked (the write's visibility point
+        #: under early commit ack); ``None`` until then.
+        self.durable_at: Optional[float] = None
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome == COMMITTED
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"HistoryOp(#{self.op_id} n{self.node}/t{self.thread} "
+                f"{self.kind} [{self.invoked_at:.1f},"
+                f"{self.responded_at if self.responded_at is None else round(self.responded_at, 1)}] "
+                f"r={self.reads} w={self.writes} {self.outcome})")
+
+
+class HistoryRecorder:
+    """Accumulates :class:`HistoryOp` records for one simulated run."""
+
+    __slots__ = ("ops",)
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.ops: List[HistoryOp] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------- recording
+
+    def begin(self, node: int, thread: int, kind: str, now: float) -> HistoryOp:
+        op = HistoryOp(len(self.ops), node, thread, kind, now)
+        self.ops.append(op)
+        return op
+
+    def read(self, op: HistoryOp, oid: Any, version: int, now: float) -> None:
+        op.reads.append((oid, version, now))
+
+    def write(self, op: HistoryOp, oid: Any, version: int, now: float) -> None:
+        op.writes.append((oid, version, now))
+
+    def respond(self, op: HistoryOp, committed: bool, now: float) -> None:
+        op.responded_at = now
+        op.outcome = COMMITTED if committed else ABORTED
+
+    def mark_durable(self, op: HistoryOp, now: Optional[float] = None) -> None:
+        """Replication fully acked — the op can no longer be lost."""
+        op.durable = True
+        op.durable_at = now
+
+    def attach_durability(self, op: HistoryOp, future) -> None:
+        """Flip :attr:`HistoryOp.durable` when ``future`` resolves.
+
+        The completion instant is taken from the future's simulator clock
+        and becomes the op's visibility point for real-time ordering.
+        """
+        if future is not None:
+            future.add_done_callback(
+                lambda f: self.mark_durable(op, f.sim.now))
+
+    # ---------------------------------------------------------------- faults
+
+    def on_crash(self, node_id: int, now: float) -> None:
+        """Downgrade this node's non-durable outcomes to indeterminate.
+
+        Two classes become maybe-committed: ops that responded
+        "committed" but whose reliable-commit pipeline had not drained
+        (their writes die with the coordinator unless a follower already
+        applied them), and ops still in flight (no response at all).
+        Aborted and durable ops are untouched — their fate is settled.
+        """
+        for op in self.ops:
+            if op.node != node_id or op.durable:
+                continue
+            if op.outcome == COMMITTED or op.outcome is None:
+                op.outcome = INDETERMINATE
+                if op.responded_at is None:
+                    op.responded_at = now
+
+    # ------------------------------------------------------------- inspection
+
+    def committed_ops(self) -> List[HistoryOp]:
+        return [op for op in self.ops if op.outcome == COMMITTED]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class NullHistoryRecorder:
+    """Falsy no-op recorder: recording disabled at zero cost."""
+
+    __slots__ = ()
+
+    enabled = False
+    ops: List[HistoryOp] = []
+
+    def __bool__(self) -> bool:
+        return False
+
+    def begin(self, node: int, thread: int, kind: str, now: float) -> None:
+        return None
+
+    def read(self, op, oid, version, now) -> None:
+        pass
+
+    def write(self, op, oid, version, now) -> None:
+        pass
+
+    def respond(self, op, committed, now) -> None:
+        pass
+
+    def mark_durable(self, op, now=None) -> None:
+        pass
+
+    def attach_durability(self, op, future) -> None:
+        pass
+
+    def on_crash(self, node_id, now) -> None:
+        pass
+
+    def committed_ops(self) -> List[HistoryOp]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op instance — the default wherever a recorder is accepted.
+NULL_HISTORY = NullHistoryRecorder()

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from .history import NULL_HISTORY
 from .stats import percentile
 from .trace import NULL_TRACER
 
@@ -305,15 +306,17 @@ class MetricsRegistry:
 
 
 class Observability:
-    """A registry plus a tracer, passed down the whole cluster stack.
+    """A registry, a tracer, and a history recorder for the whole stack.
 
     The default tracer is the no-op :data:`~repro.obs.trace.NULL_TRACER`
-    (falsy, records nothing); the registry is always live.
+    (falsy, records nothing) and the default history recorder the no-op
+    :data:`~repro.obs.history.NULL_HISTORY`; the registry is always live.
     """
 
-    __slots__ = ("registry", "tracer")
+    __slots__ = ("registry", "tracer", "history")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
-                 tracer=None):
+                 tracer=None, history=None):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.history = history if history is not None else NULL_HISTORY

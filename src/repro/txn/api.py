@@ -19,6 +19,7 @@ from typing import Any, Callable, Optional, Sequence
 from ..commit.manager import CommitManager
 from ..ownership.manager import OwnershipManager
 from ..store.catalog import Catalog, ObjectId
+from . import transaction as _txn_mod
 from .errors import AbortReason, TxnAborted
 from .transaction import ReadOnlyTransaction, Transaction
 
@@ -94,6 +95,9 @@ class ZeusAPI:
         start = self.node.sim.now
         compute = compute or _default_compute
         tracer = self.tracer
+        hist = self.node.obs.history
+        hop = (hist.begin(self.node.node_id, thread, "write", start)
+               if hist else None)
         # Each logical transaction roots a fresh trace; everything it
         # causes — acquires, remote arbitration, replication — links back.
         tspan = (tracer.begin("txn", pid=self.node.node_id, tid=thread,
@@ -102,10 +106,12 @@ class ZeusAPI:
         tctx = tspan.ctx if tspan is not None else None
         committed = yield from self._fast_write(thread, write_set, read_set,
                                                 exec_us, compute, result,
-                                                ctx=tctx)
+                                                ctx=tctx, hop=hop)
         if committed:
             result.committed = True
             result.latency_us = self.node.sim.now - start
+            if hist:
+                hist.respond(hop, True, self.node.sim.now)
             if tspan is not None:
                 tracer.end(tspan, committed=True, fast=True)
             return result
@@ -113,6 +119,7 @@ class ZeusAPI:
         for _attempt in range(self.max_retries):
             txn = self.tr_create(thread)
             txn.ctx = tctx
+            txn.hop = hop
             espan = (tracer.begin("execute", pid=self.node.node_id,
                                   tid=thread, cat="txn", ctx=tctx,
                                   attempt=_attempt)
@@ -144,6 +151,8 @@ class ZeusAPI:
         else:
             result.abort_reason = AbortReason.RETRIES_EXHAUSTED
         result.latency_us = self.node.sim.now - start
+        if hist:
+            hist.respond(hop, result.committed, self.node.sim.now)
         if tspan is not None:
             tracer.end(tspan, committed=result.committed,
                        aborts=result.aborts)
@@ -159,14 +168,20 @@ class ZeusAPI:
         result = TxnResult()
         start = self.node.sim.now
         tracer = self.tracer
+        hist = self.node.obs.history
+        hop = (hist.begin(self.node.node_id, thread, "read", start)
+               if hist else None)
         tspan = (tracer.begin("txn", pid=self.node.node_id, tid=thread,
                               cat="txn", ctx=(tracer.new_trace(), None),
                               kind="read") if tracer else None)
         tctx = tspan.ctx if tspan is not None else None
-        committed = yield from self._fast_read(read_set, exec_us, result)
+        committed = yield from self._fast_read(read_set, exec_us, result,
+                                               hop=hop)
         if committed:
             result.committed = True
             result.latency_us = self.node.sim.now - start
+            if hist:
+                hist.respond(hop, True, self.node.sim.now)
             if tspan is not None:
                 tracer.end(tspan, committed=True, fast=True)
             return result
@@ -174,6 +189,7 @@ class ZeusAPI:
         for _attempt in range(self.max_retries):
             txn = self.tr_r_create(thread)
             txn.ctx = tctx
+            txn.hop = hop
             espan = (tracer.begin("execute", pid=self.node.node_id,
                                   tid=thread, cat="txn", ctx=tctx,
                                   attempt=_attempt)
@@ -202,6 +218,8 @@ class ZeusAPI:
         else:
             result.abort_reason = AbortReason.RETRIES_EXHAUSTED
         result.latency_us = self.node.sim.now - start
+        if hist:
+            hist.respond(hop, result.committed, self.node.sim.now)
         if tspan is not None:
             tracer.end(tspan, committed=result.committed,
                        aborts=result.aborts)
@@ -209,7 +227,8 @@ class ZeusAPI:
 
     # ------------------------------------------------------------ fast paths
 
-    def _fast_read(self, read_set, exec_us: float, result: TxnResult):
+    def _fast_read(self, read_set, exec_us: float, result: TxnResult,
+                   hop=None):
         """Generator: read-only fast path (Section 5.3) in one event.
 
         Buffers versions, sleeps the combined CPU cost, then re-verifies —
@@ -221,6 +240,7 @@ class ZeusAPI:
 
         store = self.store
         snapshot = []
+        snapshot_at = self.node.sim.now
         for oid in read_set:
             obj = store.get(oid)
             if obj is None or obj.t_state != TState.VALID:
@@ -233,10 +253,16 @@ class ZeusAPI:
                    for obj, ver in snapshot):
             result.aborts += 1
             return False
+        if hop is not None:
+            hist = self.node.obs.history
+            for obj, ver in snapshot:
+                hist.read(hop, obj.oid, ver, snapshot_at)
+            hist.mark_durable(hop)
         return True
 
     def _fast_write(self, thread: int, write_set, read_set, exec_us: float,
-                    compute: ComputeFn, result: TxnResult, ctx=None):
+                    compute: ComputeFn, result: TxnResult, ctx=None,
+                    hop=None):
         """Generator: the all-local conflict-free write fast path.
 
         Semantically identical to the interactive path — same locks, same
@@ -290,6 +316,7 @@ class ZeusAPI:
             cost += (p.open_write_us + p.local_commit_per_obj_us
                      + catalog.size_of(obj.oid) * p.copy_us_per_byte)
         cost += (len(reads) + len(owner_reads)) * p.open_read_us
+        snapshot_at = self.node.sim.now
         yield cost
 
         ok = all(obj.t_state == TState.VALID and obj.t_version == ver
@@ -304,21 +331,36 @@ class ZeusAPI:
             result.aborts += 1
             return False
 
+        hist = self.node.obs.history if hop is not None else None
+        install_at = self.node.sim.now
         updates = []
         followers = set()
         for obj in writes:
             obj.t_data = compute(obj.oid, obj.t_data)
-            obj.t_version += 1
+            obj.t_version += _txn_mod.VERSION_BUMP
             obj.t_state = TState.WRITE
             updates.append((obj.oid, obj.t_version, obj.t_data,
                             catalog.size_of(obj.oid)))
             followers.update(obj.o_replicas.readers)
             obj.locked_by = None
+            if hist:
+                hist.write(hop, obj.oid, obj.t_version, install_at)
         for obj in owner_reads:
             if obj.locked_by == me:
                 obj.locked_by = None
+            if hist:
+                # Locked since before the snapshot, so the version is
+                # stable across the batched CPU event.
+                hist.read(hop, obj.oid, obj.t_version, snapshot_at)
+        if hist:
+            for obj, ver in reads:
+                hist.read(hop, obj.oid, ver, snapshot_at)
         if updates:
-            cm.submit(thread, updates, followers, ctx=ctx)
+            fut = cm.submit(thread, updates, followers, ctx=ctx)
+            if hist:
+                hist.attach_durability(hop, fut)
+        elif hist:
+            hist.mark_durable(hop)
         return True
 
     # --------------------------------------------------------- direct reads

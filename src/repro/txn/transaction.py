@@ -35,6 +35,14 @@ from .errors import AbortReason, TxnAborted
 
 __all__ = ["Transaction", "ReadOnlyTransaction", "TxnStats"]
 
+#: Version increment applied at local commit.  Test-only hook: the history
+#: checker's self-test (``tests/test_history.py``) sets this to 0 to model
+#: a broken commit path where concurrent writers silently install the same
+#: version — a lost update the strict-serializability checker must catch.
+#: Always 1 in production; read through the module at commit time so
+#: monkeypatching takes effect.
+VERSION_BUMP = 1
+
 
 class TxnStats:
     """Per-transaction bookkeeping surfaced to workload drivers."""
@@ -63,6 +71,12 @@ class _TxnBase:
         #: layer when tracing); threaded into ownership acquires and the
         #: reliable-commit submit so remote work links back to this txn.
         self.ctx = None
+        #: History op of the enclosing logical transaction (set by the API
+        #: layer when history recording is on).  Reads are staged per
+        #: attempt and only flushed at commit, so aborted attempts leave
+        #: no trace in the client-observable history.
+        self.hop = None
+        self._h_reads: List[Tuple[ObjectId, int, float]] = []
 
 
 class Transaction(_TxnBase):
@@ -97,11 +111,15 @@ class Transaction(_TxnBase):
         yield self.params.open_read_us
         if obj.o_replicas is not None and obj.o_replicas.owner == self.node.node_id:
             self._lock(obj)
+            if self.hop is not None:
+                self._h_reads.append((oid, obj.t_version, self.node.sim.now))
             return obj.t_data
         # Reader-level read: opacity check now, version validation at commit.
         if obj.t_state != TState.VALID:
             self._abort_now(AbortReason.OBJECT_INVALID)
         self._read_versions.append((obj, obj.t_version))
+        if self.hop is not None:
+            self._h_reads.append((oid, obj.t_version, self.node.sim.now))
         return obj.t_data
 
     def write(self, oid: ObjectId, value: Any) -> None:
@@ -130,20 +148,34 @@ class Transaction(_TxnBase):
 
         updates = []
         followers: Set[int] = set()
+        hop = self.hop
+        hist = self.node.obs.history if hop is not None else None
+        install_at = self.node.sim.now
         for obj in self._write_set:
             obj.t_data = self._private[obj.oid]
-            obj.t_version += 1
+            obj.t_version += VERSION_BUMP
             obj.t_state = TState.WRITE
             size = self.catalog.size_of(obj.oid)
             updates.append((obj.oid, obj.t_version, obj.t_data, size))
             if obj.o_replicas is not None:
                 followers.update(obj.o_replicas.readers)
+            if hist:
+                hist.write(hop, obj.oid, obj.t_version, install_at)
+        if hist:
+            # Local commit is the irrevocable point: reads and writes enter
+            # the history here, before replication (which may outlive us).
+            for oid, version, at in self._h_reads:
+                hist.read(hop, oid, version, at)
         self._release_locks()
         self._finished = True
         if updates:
             yield from self.commit_mgr.wait_for_room(self.thread, ctx=self.ctx)
-            self.commit_mgr.submit(self.thread, updates, followers,
-                                   ctx=self.ctx)
+            fut = self.commit_mgr.submit(self.thread, updates, followers,
+                                         ctx=self.ctx)
+            if hist:
+                hist.attach_durability(hop, fut)
+        elif hist:
+            hist.mark_durable(hop)
         return True
 
     def abort(self) -> None:
@@ -152,6 +184,7 @@ class Transaction(_TxnBase):
         self._private.clear()
         self._write_set.clear()
         self._read_versions.clear()
+        self._h_reads.clear()
         self._finished = True
 
     # ------------------------------------------------------------ internal
@@ -240,6 +273,8 @@ class ReadOnlyTransaction(_TxnBase):
         if obj.t_state != TState.VALID:
             raise TxnAborted(AbortReason.OBJECT_INVALID)
         self._buffer.append((obj, obj.t_version))
+        if self.hop is not None:
+            self._h_reads.append((oid, obj.t_version, self.node.sim.now))
         self.values[oid] = obj.t_data
         return obj.t_data
 
@@ -249,4 +284,10 @@ class ReadOnlyTransaction(_TxnBase):
         for obj, version in self._buffer:
             if obj.t_state != TState.VALID or obj.t_version != version:
                 raise TxnAborted(AbortReason.READ_CONFLICT)
+        hop = self.hop
+        if hop is not None:
+            hist = self.node.obs.history
+            for oid, version, at in self._h_reads:
+                hist.read(hop, oid, version, at)
+            hist.mark_durable(hop)
         return True

@@ -1,17 +1,33 @@
-"""Protocol verification: invariants, audits, explorer, abstract models."""
+"""Protocol verification: invariants, audits, explorer, abstract models,
+history checking, and counterexample minimization."""
 
 from .audit import (
     AuditReport,
     CommitLedger,
     audit_epochs,
     audit_exactly_once,
+    audit_history,
     audit_liveness,
     audit_run,
     audit_safety,
 )
 from .checker import CheckResult, bfs_check
 from .commit_model import check_commit_model
+from .conformance import (
+    ReplayResult,
+    TraceEvent,
+    final_model_owner,
+    record_ownership_trace,
+    replay_trace,
+)
 from .explorer import ExplorationResult, ExplorerConfig, explore
+from .history import (
+    HistoryCheckResult,
+    HistoryOp,
+    HistoryRecorder,
+    Violation,
+    check_history,
+)
 from .invariants import (
     InvariantViolation,
     check_invariants,
@@ -19,6 +35,7 @@ from .invariants import (
     quiescence_problems,
 )
 from .ownership_model import check_ownership_model
+from .shrink import ReproRecipe, ShrinkResult, run_recipe, shrink
 
 __all__ = [
     "bfs_check",
@@ -39,4 +56,19 @@ __all__ = [
     "audit_exactly_once",
     "audit_epochs",
     "audit_liveness",
+    "audit_history",
+    "check_history",
+    "HistoryCheckResult",
+    "HistoryOp",
+    "HistoryRecorder",
+    "Violation",
+    "ReproRecipe",
+    "ShrinkResult",
+    "run_recipe",
+    "shrink",
+    "TraceEvent",
+    "ReplayResult",
+    "record_ownership_trace",
+    "replay_trace",
+    "final_model_owner",
 ]

@@ -30,6 +30,10 @@ history was correct *and* the system recovered:
 6. **degree** — when every crashed node recovered, no replica set is left
    degraded: each object's replication factor is back to
    ``min(replication_degree, |live|)``.
+
+A seventh, opt-in audit — **history** — checks the run's client-observable
+transaction history for strict serializability via
+:mod:`repro.verify.history` (enable with ``repro chaos --check-history``).
 """
 
 from __future__ import annotations
@@ -37,11 +41,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..harness.zeus_cluster import ZeusCluster
+from .history import check_history
 from .invariants import check_invariants, quiescence_problems
 
 __all__ = ["CommitLedger", "AuditReport", "audit_run",
            "audit_safety", "audit_exactly_once", "audit_epochs",
-           "audit_liveness", "audit_rejoin", "audit_degree"]
+           "audit_liveness", "audit_rejoin", "audit_degree",
+           "audit_history"]
 
 
 class CommitLedger:
@@ -78,21 +84,23 @@ class AuditReport:
     """Outcome of all audits for one run."""
 
     __slots__ = ("safety", "exactly_once", "epoch", "liveness", "rejoin",
-                 "degree")
+                 "degree", "history")
 
     _NAMES = ("safety", "exactly_once", "epoch", "liveness", "rejoin",
-              "degree")
+              "degree", "history")
 
     def __init__(self, safety: List[str], exactly_once: List[str],
                  epoch: List[str], liveness: List[str],
                  rejoin: Optional[List[str]] = None,
-                 degree: Optional[List[str]] = None):
+                 degree: Optional[List[str]] = None,
+                 history: Optional[List[str]] = None):
         self.safety = safety
         self.exactly_once = exactly_once
         self.epoch = epoch
         self.liveness = liveness
         self.rejoin = rejoin if rejoin is not None else []
         self.degree = degree if degree is not None else []
+        self.history = history if history is not None else []
 
     @property
     def ok(self) -> bool:
@@ -277,9 +285,24 @@ def audit_degree(cluster: ZeusCluster) -> List[str]:
     return problems
 
 
+def audit_history(history) -> List[str]:
+    """Strict-serializability check over a recorded history.
+
+    ``history`` is a :class:`~repro.obs.history.HistoryRecorder` (or op
+    sequence); returns one problem line per violation.
+    """
+    check = check_history(history)
+    return [v.describe() for v in check.violations]
+
+
 def audit_run(cluster: ZeusCluster, ledger: CommitLedger,
-              initial_value: int = 0) -> AuditReport:
-    """Run all six audits against a drained cluster."""
+              initial_value: int = 0, history=None) -> AuditReport:
+    """Run all audits against a drained cluster.
+
+    When ``history`` (a recorder or op list) is provided, the run's
+    client-observable history is additionally checked for strict
+    serializability.
+    """
     return AuditReport(
         safety=audit_safety(cluster),
         exactly_once=audit_exactly_once(cluster, ledger, initial_value),
@@ -287,4 +310,5 @@ def audit_run(cluster: ZeusCluster, ledger: CommitLedger,
         liveness=audit_liveness(cluster),
         rejoin=audit_rejoin(cluster),
         degree=audit_degree(cluster),
+        history=audit_history(history) if history is not None else [],
     )

@@ -1,0 +1,230 @@
+"""Implementation-vs-model conformance for the ownership protocol.
+
+The abstract model in :mod:`repro.verify.ownership_model` is checked
+exhaustively, but that only proves the *model* correct.  This module
+closes the loop in the other direction: record the REQ/INV/ACK/NACK/VAL
+messages an actual :class:`~repro.harness.zeus_cluster.ZeusCluster` run
+delivers for one contended object, then replay them through the model's
+transition relation.  Every observed delivery must be a message the
+model could have produced (membership in its grow-only pool) and every
+resulting model state must satisfy the model's invariants.  Divergence —
+an ACK the model would not send, an arbitration the model forbids —
+fails the replay with the offending step.
+
+The recorded configuration matches the model's: three nodes that are all
+directory replicas of one object owned by node 0, with nodes 1 and 2
+contending for ownership.  Drivers are taken from the observed trace
+(the implementation self-drives when co-located with the directory),
+not from the model's hard-coded exploration set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ownership import messages as own_msgs
+from ..ownership.messages import ReqType
+from .ownership_model import (
+    INVARIANTS,
+    REQUESTERS,
+    _on_ack,
+    _on_inv,
+    _on_nack,
+    _on_req,
+    _on_val,
+    initial_state,
+)
+
+__all__ = ["TraceEvent", "record_ownership_trace", "replay_trace",
+           "ReplayResult", "final_model_owner", "acquire_script"]
+
+_KINDS = (own_msgs.KIND_REQ, own_msgs.KIND_INV, own_msgs.KIND_ACK,
+          own_msgs.KIND_NACK, own_msgs.KIND_VAL)
+
+
+class TraceEvent:
+    """One protocol message delivery observed on the implementation."""
+
+    __slots__ = ("kind", "src", "dst", "requester", "ts", "at")
+
+    def __init__(self, kind: str, src: int, dst: int, requester: int,
+                 ts: Optional[Tuple[int, int]], at: float):
+        self.kind = kind          # "REQ"|"INV"|"ACK"|"NACK"|"VAL"
+        self.src = src
+        self.dst = dst
+        self.requester = requester
+        self.ts = ts              # (version, driver) or None (pre-INV NACK)
+        self.at = at
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"TraceEvent({self.kind} {self.src}->{self.dst} "
+                f"r{self.requester} ts={self.ts} @{self.at:.1f})")
+
+
+def record_ownership_trace(cluster, oid) -> List[TraceEvent]:
+    """Intercept ownership deliveries for ``oid`` on every node.
+
+    Wraps the registered handlers in place; returns the (live) event
+    list, appended to as the simulation runs.
+    """
+    trace: List[TraceEvent] = []
+    requester_of: dict = {}  # req_id -> requester (REQ/INV carry it)
+
+    def wrap(node, kind: str, short: str):
+        fn, cost, span_name = node._handlers[kind]
+
+        def wrapped(msg, _fn=fn, _short=short, _node=node):
+            payload = msg.payload
+            if payload.oid == oid:
+                requester = getattr(payload, "requester", None)
+                if requester is not None:
+                    requester_of[payload.req_id] = requester
+                else:
+                    # ACK/NACK go to the requester; VAL goes to arbiters
+                    # and is resolved through the round's REQ/INV.
+                    requester = requester_of.get(payload.req_id, msg.dst)
+                ts = getattr(payload, "o_ts", None)
+                trace.append(TraceEvent(
+                    _short, msg.src, msg.dst, requester,
+                    tuple(ts) if ts is not None else None,
+                    _node.sim.now))
+            return _fn(msg)
+
+        node._handlers[kind] = (wrapped, cost, span_name)
+
+    shorts = {own_msgs.KIND_REQ: "REQ", own_msgs.KIND_INV: "INV",
+              own_msgs.KIND_ACK: "ACK", own_msgs.KIND_NACK: "NACK",
+              own_msgs.KIND_VAL: "VAL"}
+    for node in cluster.nodes:
+        for kind in _KINDS:
+            if kind in node._handlers:
+                wrap(node, kind, shorts[kind])
+    return trace
+
+
+class ReplayResult:
+    """Verdict of one trace replay against the model."""
+
+    __slots__ = ("ok", "steps", "failures")
+
+    def __init__(self, ok: bool, steps: int, failures: List[str]):
+        self.ok = ok
+        self.steps = steps
+        self.failures = failures
+
+    def describe(self) -> str:
+        head = (f"replay: {self.steps} deliveries -> "
+                f"{'conformant' if self.ok else 'DIVERGED'}")
+        return "\n".join([head] + self.failures)
+
+
+def replay_trace(trace: List[TraceEvent]) -> ReplayResult:
+    """Drive the model's transition relation with an observed trace."""
+    state = initial_state()
+    failures: List[str] = []
+    steps = 0
+
+    def check_invariants(ev: TraceEvent) -> None:
+        for name, fn in INVARIANTS:
+            if not fn(state):
+                failures.append(f"invariant {name} broken after {ev!r}")
+
+    for ev in trace:
+        steps += 1
+        nodes, reqs, pool = state
+        if ev.kind == "REQ":
+            if ev.requester not in REQUESTERS:
+                failures.append(f"REQ from non-requester node: {ev!r}")
+                continue
+            idx = REQUESTERS.index(ev.requester)
+            phase, _acks = reqs[idx]
+            if phase != "idle":
+                # A denied (or granted-then-preempted) requester retries
+                # with a fresh round; the model restarts it from idle.
+                reqs = tuple(("idle", frozenset()) if i == idx else r
+                             for i, r in enumerate(reqs))
+            reqs = tuple(("wait", frozenset()) if i == idx else r
+                         for i, r in enumerate(reqs))
+            msg = ("REQ", ev.requester, ev.dst)
+            state = (nodes, reqs, pool | {msg})
+            state = _on_req(state, msg)
+        elif ev.kind == "INV":
+            msg = ("INV", ev.ts, ev.requester, ev.dst)
+            if msg not in pool:
+                failures.append(f"INV not producible by model: {ev!r}")
+                continue
+            state = _on_inv(state, msg)
+        elif ev.kind == "ACK":
+            msg = ("ACK", ev.ts, ev.requester, ev.src)
+            if msg not in pool:
+                failures.append(f"ACK not producible by model: {ev!r}")
+                continue
+            state = _on_ack(state, msg)
+        elif ev.kind == "NACK":
+            candidates = [m for m in pool
+                          if m[0] == "NACK" and m[1] == ev.requester]
+            if not candidates:
+                failures.append(f"NACK not producible by model: {ev!r}")
+                continue
+            # The implementation's NACK does not always echo the round's
+            # ts; any pending model NACK for this requester matches.
+            state = _on_nack(state, sorted(candidates, key=repr)[0])
+        elif ev.kind == "VAL":
+            if ev.dst == ev.requester:
+                # The implementation validates the requester's own copy
+                # via loopback; the model folds that into the ACK step.
+                continue
+            msg = ("VAL", ev.ts, ev.requester, ev.dst)
+            if msg not in pool:
+                failures.append(f"VAL not producible by model: {ev!r}")
+                continue
+            state = _on_val(state, msg)
+        else:  # pragma: no cover - defensive
+            failures.append(f"unknown kind: {ev!r}")
+            continue
+        check_invariants(ev)
+
+    return ReplayResult(not failures, steps, failures)
+
+
+def final_model_owner(trace: List[TraceEvent]):
+    """The owner of the newest Valid view after replaying ``trace``."""
+    nodes, _reqs, _pool = _replay_state(trace)
+    newest = max(((nodes[i][1], nodes[i][2]) for i in range(len(nodes))
+                  if nodes[i][0] == "V"), default=None)
+    return newest[1] if newest is not None else None
+
+
+def _replay_state(trace: List[TraceEvent]):
+    state = initial_state()
+    for ev in trace:
+        nodes, reqs, pool = state
+        if ev.kind == "REQ":
+            idx = REQUESTERS.index(ev.requester)
+            reqs = tuple(("wait", frozenset()) if i == idx else r
+                         for i, r in enumerate(reqs))
+            msg = ("REQ", ev.requester, ev.dst)
+            state = _on_req((nodes, reqs, pool | {msg}), msg)
+        elif ev.kind == "INV":
+            state = _on_inv(state, ("INV", ev.ts, ev.requester, ev.dst))
+        elif ev.kind == "ACK":
+            state = _on_ack(state, ("ACK", ev.ts, ev.requester, ev.src))
+        elif ev.kind == "NACK":
+            candidates = [m for m in state[2]
+                          if m[0] == "NACK" and m[1] == ev.requester]
+            if candidates:
+                state = _on_nack(state, sorted(candidates, key=repr)[0])
+        elif ev.kind == "VAL" and ev.dst != ev.requester:
+            state = _on_val(state, ("VAL", ev.ts, ev.requester, ev.dst))
+    return state
+
+
+def acquire_script(cluster, node_id: int, oid, rounds: int = 4):
+    """Generator: keep requesting ownership of ``oid`` until granted."""
+    handle = cluster.handles[node_id]
+    for _ in range(rounds):
+        outcome = yield from handle.ownership.acquire(
+            oid, ReqType.ACQUIRE_OWNER, thread=0)
+        if outcome.granted:
+            return
+        yield 5.0

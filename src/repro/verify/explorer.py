@@ -17,8 +17,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..harness.zeus_cluster import ZeusCluster
+from ..obs import HistoryRecorder, Observability
 from ..sim.params import FaultParams, SimParams
 from ..store.catalog import Catalog
+from .history import check_history
 from .invariants import check_invariants, check_quiescent
 
 __all__ = ["ExplorerConfig", "ExplorationResult", "explore"]
@@ -37,6 +39,8 @@ class ExplorerConfig:
     #: How often (simulated µs) to re-check invariants mid-flight.
     check_interval_us: float = 200.0
     horizon_us: float = 400_000.0
+    #: Record each history and check it for strict serializability.
+    check_history: bool = True
 
 
 @dataclass
@@ -46,9 +50,27 @@ class ExplorationResult:
     committed_total: int = 0
     violations: List[str] = field(default_factory=list)
     nonquiescent: List[str] = field(default_factory=list)
+    #: Strict-serializability violations found by the history checker.
+    history_violations: List[str] = field(default_factory=list)
+    #: Per-seed history fingerprints (determinism regression surface).
+    history_digests: List[str] = field(default_factory=list)
+
+    def digest(self) -> str:
+        """Stable fingerprint of the whole exploration (same-seed runs
+        must produce byte-identical digests)."""
+        return "|".join([
+            f"seeds={self.seeds_run}",
+            f"crashes={self.histories_with_crash}",
+            f"committed={self.committed_total}",
+            f"violations={self.violations!r}",
+            f"nonquiescent={self.nonquiescent!r}",
+            f"hist_violations={self.history_violations!r}",
+            "hist=" + ";".join(self.history_digests),
+        ])
 
 
-def _build(seed: int, cfg: ExplorerConfig) -> ZeusCluster:
+def _build(seed: int, cfg: ExplorerConfig,
+           obs: Optional[Observability] = None) -> ZeusCluster:
     catalog = Catalog(cfg.num_nodes, replication_degree=min(3, cfg.num_nodes))
     catalog.add_table("obj", 64)
     for i in range(cfg.num_objects):
@@ -59,7 +81,7 @@ def _build(seed: int, cfg: ExplorerConfig) -> ZeusCluster:
         heartbeat_us=150.0,
     ).scaled_threads(app=2, worker=2)
     cluster = ZeusCluster(cfg.num_nodes, params=params, catalog=catalog,
-                          seed=seed)
+                          seed=seed, obs=obs)
     cluster.load(init_value=0)
     return cluster
 
@@ -121,7 +143,15 @@ def explore(seeds: int = 20,
     cfg = cfg or ExplorerConfig()
     result = ExplorationResult()
     for seed in range(seeds):
-        cluster = _build(seed, cfg)
+        recorder = HistoryRecorder() if cfg.check_history else None
+        obs = Observability(history=recorder) if recorder else None
+        cluster = _build(seed, cfg, obs=obs)
         _history(cluster, seed, cfg, result)
         result.seeds_run += 1
+        if recorder is not None:
+            check = check_history(recorder)
+            result.history_digests.append(f"seed {seed}: {check.digest()}")
+            for v in check.violations:
+                result.history_violations.append(
+                    f"seed {seed}: {v.describe()}")
     return result
