@@ -1,0 +1,33 @@
+"""Perf-trajectory benchmarks: standard scenarios, host profiling, and
+schema-versioned ``BENCH_*.json`` artifacts with baseline comparison.
+
+Entry point: ``python -m repro bench`` (see :mod:`repro.harness.runner`).
+"""
+
+from .compare import CompareResult, compare_against, compare_docs, load_baseline
+from .harness import (
+    SCHEMA_VERSION,
+    bench_path,
+    bench_scenario,
+    deterministic_view,
+    env_fingerprint,
+    write_bench,
+)
+from .scenarios import SCENARIOS, Scenario, ScenarioOutcome, get_scenario
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioOutcome",
+    "get_scenario",
+    "bench_scenario",
+    "bench_path",
+    "write_bench",
+    "deterministic_view",
+    "env_fingerprint",
+    "CompareResult",
+    "compare_docs",
+    "compare_against",
+    "load_baseline",
+]

@@ -1,0 +1,134 @@
+"""Compare a fresh bench run against a committed baseline.
+
+``python -m repro bench --against <file|git-ref>`` loads the baseline
+BENCH document (from a file path, or from ``git show <ref>:BENCH_x.json``
+when the argument is a git ref), prints a regression/speedup table, and
+fails (non-zero exit) when throughput drops past the threshold.
+
+Gating policy:
+
+* ``events_per_sec`` and ``txns_per_sec`` **gate**: current below
+  ``baseline * (1 - threshold)`` fails the comparison.  These are rates —
+  higher is better — and are the repo's actual perf trajectory.
+* ``wall_s`` and ``peak_rss_kb`` are **reported** but never gate: wall
+  time scales with machine speed and ru_maxrss is a process-lifetime
+  high-water mark, so both are too noisy to fail CI on.
+* A deterministic-digest mismatch is flagged in the table (it means the
+  two documents benched *different simulations* — seed, scale, or code
+  changed outcomes) but does not fail the comparison by itself; perf PRs
+  legitimately change event counts.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["load_baseline", "compare_docs", "CompareResult"]
+
+
+class CompareResult:
+    """Outcome of one baseline comparison."""
+
+    __slots__ = ("scenario", "rows", "notes", "ok")
+
+    def __init__(self, scenario: str, rows: List[Tuple[str, float, float, str]],
+                 notes: List[str], ok: bool):
+        self.scenario = scenario
+        #: (metric, baseline, current, verdict) per compared metric.
+        self.rows = rows
+        self.notes = notes
+        self.ok = ok
+
+    def table(self) -> str:
+        lines = [f"scenario {self.scenario}:"]
+        width = max((len(r[0]) for r in self.rows), default=10)
+        for metric, base, cur, verdict in self.rows:
+            ratio = cur / base if base else float("inf")
+            lines.append(f"  {metric:<{width}}  {base:>14,.1f} -> "
+                         f"{cur:>14,.1f}  ({ratio:6.2%})  {verdict}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        lines.append(f"  => {'OK' if self.ok else 'REGRESSION'}")
+        return "\n".join(lines)
+
+
+def load_baseline(against: str, scenario: str) -> Dict[str, Any]:
+    """Load a baseline BENCH doc from a file path or a git ref.
+
+    A path that exists on disk wins; otherwise ``against`` is treated as a
+    git ref and the committed ``BENCH_<scenario>.json`` is read from it.
+    """
+    path = Path(against)
+    if path.is_file():
+        return json.loads(path.read_text())
+    blob = subprocess.run(
+        ["git", "show", f"{against}:BENCH_{scenario}.json"],
+        capture_output=True, text=True, check=False)
+    if blob.returncode != 0:
+        raise FileNotFoundError(
+            f"no baseline for {scenario!r}: {against!r} is neither a file "
+            f"nor a git ref with BENCH_{scenario}.json "
+            f"({blob.stderr.strip()})")
+    return json.loads(blob.stdout)
+
+
+# Rates gate (higher is better); resources are report-only.
+_GATED = ("events_per_sec", "txns_per_sec")
+_REPORTED = ("wall_s", "peak_rss_kb")
+
+
+def compare_docs(baseline: Dict[str, Any], current: Dict[str, Any],
+                 threshold: float = 0.5) -> CompareResult:
+    """Compare two BENCH documents; ``threshold`` is the tolerated
+    fractional throughput drop (0.5 = fail below 50% of baseline)."""
+    scenario = current.get("scenario", "?")
+    rows: List[Tuple[str, float, float, str]] = []
+    notes: List[str] = []
+    ok = True
+
+    if baseline.get("schema_version") != current.get("schema_version"):
+        notes.append(f"schema version changed: "
+                     f"{baseline.get('schema_version')} -> "
+                     f"{current.get('schema_version')}")
+
+    b_host, c_host = baseline.get("host", {}), current.get("host", {})
+    for metric in _GATED:
+        base, cur = b_host.get(metric), c_host.get(metric)
+        if base is None or cur is None:
+            notes.append(f"{metric}: missing in one document, skipped")
+            continue
+        if base > 0 and cur < base * (1.0 - threshold):
+            rows.append((metric, base, cur, "REGRESSION"))
+            ok = False
+        elif base > 0 and cur > base * (1.0 + threshold):
+            rows.append((metric, base, cur, "speedup"))
+        else:
+            rows.append((metric, base, cur, "ok"))
+    for metric in _REPORTED:
+        base = b_host.get(metric)
+        cur = c_host.get(metric)
+        if base is not None and cur is not None:
+            rows.append((metric, float(base), float(cur), "(report-only)"))
+
+    b_digest = baseline.get("sim", {}).get("digest")
+    c_digest = current.get("sim", {}).get("digest")
+    if b_digest and c_digest and b_digest != c_digest:
+        notes.append(f"sim digest changed ({b_digest} -> {c_digest}): the "
+                     f"benched simulations differ (seed/scale/outcome "
+                     f"change), rates are not strictly comparable")
+    return CompareResult(scenario, rows, notes, ok)
+
+
+def compare_against(against: str, current: Dict[str, Any],
+                    threshold: float = 0.5) -> Optional[CompareResult]:
+    """Convenience wrapper: load the baseline for ``current`` and compare.
+    Returns None (with no error) when the baseline simply does not exist
+    in the given ref — a brand-new scenario has nothing to regress."""
+    try:
+        baseline = load_baseline(against, current["scenario"])
+    except FileNotFoundError:
+        return None
+    return compare_docs(baseline, current, threshold=threshold)

@@ -1,0 +1,136 @@
+"""Bench execution: run a scenario, profile the host, emit BENCH_*.json.
+
+One bench of a scenario is up to three runs of the *same* (seed, scale)
+cell, differing only in what is observed:
+
+1. **profiled, obs off** — :class:`~repro.obs.HostProfiler` installed,
+   tracing/history off.  Produces the headline numbers: wall time,
+   events/sec, txns/sec, per-subsystem and per-handler host-time
+   breakdown, peak RSS.
+2. **plain, obs off** — nothing installed: the wall-clock baseline that
+   quantifies the profiler's own overhead.
+3. **obs on** — full :class:`~repro.obs.Tracer` + history recorder, no
+   profiler.  The wall delta versus run 2 is the cost of turning
+   observability on, reported under ``obs_overhead``.
+
+All three runs must produce the *same* deterministic outcome digest —
+observation never changes what the simulation does — and the harness
+records whether they did (``obs_overhead.digest_match``).
+
+The emitted document is schema-versioned (:data:`SCHEMA_VERSION`); the
+deterministic subset (:func:`deterministic_view`) is bit-stable across
+machines at a fixed seed and is what the tests compare.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..obs import HistoryRecorder, HostProfiler, Observability, Tracer
+from .scenarios import Scenario, ScenarioOutcome, get_scenario
+
+__all__ = ["SCHEMA_VERSION", "bench_scenario", "bench_path", "write_bench",
+           "deterministic_view", "env_fingerprint"]
+
+SCHEMA_VERSION = 1
+
+
+def env_fingerprint() -> Dict[str, str]:
+    """Where these host-side numbers came from (never part of digests)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+    }
+
+
+def _timed_run(scenario: Scenario, seed: int, scale: float,
+               obs: Observability) -> ScenarioOutcome:
+    prof = obs.profiler
+    prof.start()
+    try:
+        return scenario.run(seed, scale, obs)
+    finally:
+        prof.stop()
+
+
+def _wall_run(scenario: Scenario, seed: int, scale: float,
+              obs: Observability) -> tuple:
+    """Run with only a wall-clock bracket (no per-event profiling)."""
+    from time import perf_counter_ns
+    t0 = perf_counter_ns()
+    outcome = scenario.run(seed, scale, obs)
+    return outcome, (perf_counter_ns() - t0) / 1e9
+
+
+def bench_scenario(name: str, seed: int = 1, scale: float = 1.0,
+                   measure_overhead: bool = True) -> Dict[str, Any]:
+    """Run one scenario's full bench and return the BENCH document."""
+    scenario = get_scenario(name)
+
+    # Run 1: profiled, obs off — the headline numbers.
+    profiler = HostProfiler()
+    outcome = _timed_run(scenario, seed, scale,
+                         Observability(profiler=profiler))
+    host = profiler.report()
+    host.update(profiler.rates(events=outcome.events_executed,
+                               txns=outcome.committed))
+
+    doc: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": name,
+        "description": scenario.description,
+        "seed": seed,
+        "scale": scale,
+        "config": scenario.config,
+        "sim": outcome.as_dict(),
+        "host": host,
+        "env": env_fingerprint(),
+    }
+
+    if measure_overhead:
+        # Run 2: plain (no profiler, no tracing) — wall baseline.
+        plain_outcome, plain_wall = _wall_run(scenario, seed, scale,
+                                              Observability())
+        # Run 3: full observability on (tracer + history), no profiler.
+        obs_on = Observability(tracer=Tracer(), history=HistoryRecorder())
+        obs_outcome, obs_wall = _wall_run(scenario, seed, scale, obs_on)
+        delta = obs_wall - plain_wall
+        doc["obs_overhead"] = {
+            "plain_wall_s": plain_wall,
+            "obs_wall_s": obs_wall,
+            "delta_s": delta,
+            "delta_pct": (100.0 * delta / plain_wall) if plain_wall > 0 else 0.0,
+            # Observation must not change the simulation: all three runs
+            # (profiled, plain, obs-on) land on the same digest.
+            "digest_match": (outcome.digest() == plain_outcome.digest()
+                             == obs_outcome.digest()),
+        }
+    return doc
+
+
+def deterministic_view(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """The machine-independent subset of a BENCH document: everything a
+    same-seed re-run must reproduce exactly."""
+    view = {k: v for k, v in doc.items() if k not in ("host", "env",
+                                                      "obs_overhead")}
+    if "obs_overhead" in doc:
+        view["obs_overhead"] = {"digest_match":
+                                doc["obs_overhead"]["digest_match"]}
+    return view
+
+
+def bench_path(name: str, out_dir: Optional[Path] = None) -> Path:
+    root = Path(out_dir) if out_dir is not None else Path.cwd()
+    return root / f"BENCH_{name}.json"
+
+
+def write_bench(doc: Dict[str, Any], out_dir: Optional[Path] = None) -> Path:
+    path = bench_path(doc["scenario"], out_dir)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

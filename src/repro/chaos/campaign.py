@@ -75,6 +75,9 @@ class RunReport:
     #: Network-level fault counters for the run.
     net_faults: dict
     audit: AuditReport
+    #: Simulator events executed over the whole run (a deterministic
+    #: cost/size measure; the bench harness reports it per cell).
+    events_executed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -212,6 +215,7 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
         timeline=timeline,
         net_faults=net_faults,
         audit=audit,
+        events_executed=cluster.sim.events_executed,
     )
 
 

@@ -16,6 +16,7 @@ protocol latency exactly as on real hardware.
 
 from __future__ import annotations
 
+from time import perf_counter_ns as _perf_ns
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..net.message import Message, NodeId
@@ -163,11 +164,14 @@ class Node:
         fn, cost, span_name = entry
         extra = cost(msg.payload) if callable(cost) else cost
         net = self.params.net
-        queue_us = self.pool.queue_delay()
+        tracer = self.obs.tracer
+        traced = tracer and msg.trace_id is not None
+        # queue_delay() feeds only the service span's queue/service split;
+        # read it (before charge() moves the pool) only when traced.
+        queue_us = self.pool.queue_delay() if traced else 0.0
         ready_at = self.pool.charge(net.msg_cpu_us + net.reliable_overhead_us + extra)
         span = None
-        tracer = self.obs.tracer
-        if tracer and msg.trace_id is not None:
+        if traced:
             # Service span: [arrival, handler-done] on the worker-pool
             # track, split into queue wait and service time, linked under
             # the sender's span so the trace crosses the wire.
@@ -188,9 +192,15 @@ class Node:
             self._handler_ctx = span.ctx
         elif msg.trace_id is not None:
             self._handler_ctx = (msg.trace_id, msg.parent_span)
+        prof = self.obs.profiler
+        t0 = _perf_ns() if prof else 0
         try:
             fn(msg)
         finally:
+            if prof:
+                # Per-message-kind host time: the fine-grained view inside
+                # the kernel profiler's `cluster` subsystem bucket.
+                prof.handler(msg.kind, _perf_ns() - t0)
             if span is not None:
                 self.obs.tracer.end(span)
             self._handler_ctx = None

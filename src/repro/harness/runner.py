@@ -1,7 +1,10 @@
 """Command-line experiment runner: ``python -m repro <command>``.
 
 Convenience entry points for the common flows so users do not need pytest
-to explore the system:
+to explore the system.  Every subcommand lives in the single
+:data:`COMMANDS` registry below — name, help line, argument setup, and
+handler in one row — so ``python -m repro --help`` is always complete and
+the dispatch table cannot drift from the parser:
 
 * ``python -m repro quickstart``            — the README tour
 * ``python -m repro verify [--seeds N]``    — model checkers + explorer
@@ -11,6 +14,7 @@ to explore the system:
 * ``python -m repro smallbank [--remote F]``— one Zeus-vs-baseline point
 * ``python -m repro trace [--out F]``       — capture a Chrome trace
 * ``python -m repro analyze [--jsonl F]``   — critical-path latency breakdown
+* ``python -m repro bench [--scenario S]``  — perf trajectory (BENCH_*.json)
 * ``python -m repro list``                  — the benchmark catalog
 """
 
@@ -362,6 +366,55 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Run the standard perf scenarios; write/compare BENCH_*.json."""
+    from ..bench import SCENARIOS, bench_scenario, compare_against, write_bench
+
+    if args.list:
+        print("Bench scenarios (fixed-seed perf-trajectory cells):")
+        for name in sorted(SCENARIOS):
+            print(f"  {name:<16} {SCENARIOS[name].description}")
+        return 0
+
+    names = args.scenario if args.scenario else sorted(SCENARIOS)
+    failed = False
+    for name in names:
+        if name not in SCENARIOS:
+            known = ", ".join(sorted(SCENARIOS))
+            print(f"unknown scenario {name!r} (known: {known})")
+            return 2
+        doc = bench_scenario(name, seed=args.seed, scale=args.scale,
+                             measure_overhead=not args.no_overhead)
+        host, sim = doc["host"], doc["sim"]
+        print(f"{name}: {sim['committed']} committed / {sim['aborted']} "
+              f"aborted, {sim['events_executed']} events in "
+              f"{host['wall_s']:.2f}s "
+              f"({host['events_per_sec']:,.0f} events/s, "
+              f"{host['txns_per_sec']:,.0f} txns/s, "
+              f"peak RSS {host['peak_rss_kb']:,} KiB) "
+              f"digest {sim['digest']}")
+        if "obs_overhead" in doc:
+            oo = doc["obs_overhead"]
+            match = "outcomes identical" if oo["digest_match"] else \
+                "OUTCOME DIGESTS DIVERGED"
+            print(f"  obs overhead: {oo['plain_wall_s']:.2f}s plain -> "
+                  f"{oo['obs_wall_s']:.2f}s with tracing+history "
+                  f"(+{oo['delta_pct']:.0f}%), {match}")
+        if not args.dry_run:
+            path = write_bench(doc, out_dir=args.out_dir)
+            print(f"  wrote {path}")
+        if args.against:
+            result = compare_against(args.against, doc,
+                                     threshold=args.threshold)
+            if result is None:
+                print(f"  no baseline for {name!r} in {args.against!r} "
+                      f"(new scenario, nothing to regress)")
+            else:
+                print(result.table())
+                failed = failed or not result.ok
+    return 1 if failed else 0
+
+
 def _cmd_list(_args) -> int:
     table = [
         ("T2", "benchmarks/test_table2_benchmarks.py", "benchmark summary"),
@@ -389,116 +442,152 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _args_verify(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seeds", type=int, default=20)
+    p.add_argument("--txns", type=int, default=15)
+
+
+def _args_chaos(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--schedules", type=int, default=3,
+                   help="generated schedules (default %(default)s)")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="run seeds per schedule (default %(default)s)")
+    p.add_argument("--difficulty", type=int, default=3, choices=(1, 2, 3),
+                   help="scenario severity (default %(default)s)")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--objects", type=int, default=8)
+    p.add_argument("--duration", type=float, default=30_000.0,
+                   help="workload window in us (default %(default)s)")
+    p.add_argument("--quiesce", type=float, default=30_000.0,
+                   help="drain window before audit (default %(default)s)")
+    p.add_argument("--schedule-seed-base", type=int, default=100)
+    p.add_argument("--check-history", action="store_true",
+                   help="record each run's transaction history and audit it "
+                        "for strict serializability")
+    p.add_argument("--show-schedules", action="store_true",
+                   help="print the generated fault timelines and exit")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="Chrome trace of the first cell (chaos instants)")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="dump campaign chaos.* metrics as JSON")
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   dest="trace_out",
+                   help="re-run the worst-audit cell traced and dump its "
+                        "spans as JSONL (for `repro analyze`)")
+
+
+def _args_check(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seeds", type=int, default=5,
+                   help="explorer histories to check (default %(default)s)")
+    p.add_argument("--txns", type=int, default=15,
+                   help="transactions per node per history "
+                        "(default %(default)s)")
+
+
+def _args_smallbank(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--nodes", type=int, default=3)
+    p.add_argument("--remote", type=float, default=0.01)
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="capture a Chrome trace of the Zeus run")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="dump the metrics registry snapshot as JSON")
+    p.add_argument("--analyze", action="store_true",
+                   help="trace the Zeus run and print the critical-path "
+                        "latency breakdown")
+    p.add_argument("--flow", metavar="FILE", default=None,
+                   help="trace the Zeus run and write folded-stack "
+                        "(flamegraph) lines")
+
+
+def _args_trace(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--out", metavar="FILE", default="trace.json",
+                   help="Chrome trace-event output (default %(default)s)")
+    p.add_argument("--jsonl", metavar="FILE", default=None,
+                   help="also dump raw spans as JSON lines")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="dump the metrics registry snapshot as JSON")
+    p.add_argument("--nodes", type=int, default=3)
+    p.add_argument("--remote", type=float, default=0.2,
+                   help="remote-write fraction (default %(default)s)")
+    p.add_argument("--duration", type=float, default=5_000.0,
+                   help="simulated run length in us")
+    p.add_argument("--seed", type=int, default=1)
+
+
+def _args_analyze(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jsonl", metavar="FILE", default=None,
+                   help="analyze an existing span JSONL trace "
+                        "(default: run a traced workload inline)")
+    p.add_argument("--folded", metavar="FILE", default=None,
+                   help="also write folded-stack (flamegraph) lines")
+    p.add_argument("--nodes", type=int, default=3)
+    p.add_argument("--remote", type=float, default=0.2,
+                   help="remote-write fraction for the inline run")
+    p.add_argument("--duration", type=float, default=5_000.0,
+                   help="inline run length in simulated us")
+    p.add_argument("--seed", type=int, default=1)
+
+
+def _args_bench(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scenario", action="append", metavar="NAME",
+                   help="scenario to bench (repeatable; default: all)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="run seed (default %(default)s)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="proportional scenario size (default %(default)s; "
+                        "committed BENCH files always use 1.0)")
+    p.add_argument("--out-dir", metavar="DIR", default=None,
+                   help="directory for BENCH_*.json (default: cwd)")
+    p.add_argument("--against", metavar="FILE|GIT-REF", default=None,
+                   help="compare against a baseline BENCH file or the "
+                        "committed one at a git ref; exit non-zero on "
+                        "regression past --threshold")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="tolerated fractional throughput drop "
+                        "(default %(default)s = fail below 50%% of baseline)")
+    p.add_argument("--no-overhead", action="store_true",
+                   help="skip the obs-overhead runs (faster, no "
+                        "obs_overhead section)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="run + print + compare but do not write BENCH files")
+    p.add_argument("--list", action="store_true",
+                   help="list the registered scenarios and exit")
+
+
+#: The single source of truth for subcommands: (name, help, argument
+#: setup, handler).  ``--help``, parser construction, and dispatch all
+#: derive from this table.
+COMMANDS = [
+    ("quickstart", "run the README tour", None, _cmd_quickstart),
+    ("verify", "model checkers + explorer", _args_verify, _cmd_verify),
+    ("chaos", "fault-schedule campaign with invariant audits",
+     _args_chaos, _cmd_chaos),
+    ("check", "strict-serializability check over seeded runs",
+     _args_check, _cmd_check),
+    ("locality", "§8 locality analyses", None, _cmd_locality),
+    ("smallbank", "one Zeus-vs-FaSST point", _args_smallbank, _cmd_smallbank),
+    ("trace", "capture a Chrome trace of a short SmallBank mix",
+     _args_trace, _cmd_trace),
+    ("analyze", "critical-path latency attribution per txn segment",
+     _args_analyze, _cmd_analyze),
+    ("bench", "perf-trajectory scenarios -> BENCH_*.json (+ compare)",
+     _args_bench, _cmd_bench),
+    ("list", "experiment catalog", None, _cmd_list),
+]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Zeus reproduction — experiment runner")
     sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("quickstart", help="run the README tour")
-
-    p_verify = sub.add_parser("verify", help="model checkers + explorer")
-    p_verify.add_argument("--seeds", type=int, default=20)
-    p_verify.add_argument("--txns", type=int, default=15)
-
-    p_chaos = sub.add_parser(
-        "chaos", help="fault-schedule campaign with invariant audits")
-    p_chaos.add_argument("--schedules", type=int, default=3,
-                         help="generated schedules (default %(default)s)")
-    p_chaos.add_argument("--seeds", type=int, default=3,
-                         help="run seeds per schedule (default %(default)s)")
-    p_chaos.add_argument("--difficulty", type=int, default=3,
-                         choices=(1, 2, 3),
-                         help="scenario severity (default %(default)s)")
-    p_chaos.add_argument("--nodes", type=int, default=4)
-    p_chaos.add_argument("--objects", type=int, default=8)
-    p_chaos.add_argument("--duration", type=float, default=30_000.0,
-                         help="workload window in us (default %(default)s)")
-    p_chaos.add_argument("--quiesce", type=float, default=30_000.0,
-                         help="drain window before audit (default %(default)s)")
-    p_chaos.add_argument("--schedule-seed-base", type=int, default=100)
-    p_chaos.add_argument("--check-history", action="store_true",
-                         help="record each run's transaction history and "
-                              "audit it for strict serializability")
-    p_chaos.add_argument("--show-schedules", action="store_true",
-                         help="print the generated fault timelines and exit")
-    p_chaos.add_argument("--trace", metavar="FILE", default=None,
-                         help="Chrome trace of the first cell (chaos instants)")
-    p_chaos.add_argument("--metrics-out", metavar="FILE", default=None,
-                         help="dump campaign chaos.* metrics as JSON")
-    p_chaos.add_argument("--trace-out", metavar="FILE", default=None,
-                         dest="trace_out",
-                         help="re-run the worst-audit cell traced and dump "
-                              "its spans as JSONL (for `repro analyze`)")
-
-    p_check = sub.add_parser(
-        "check", help="strict-serializability check over seeded runs")
-    p_check.add_argument("--seeds", type=int, default=5,
-                         help="explorer histories to check "
-                              "(default %(default)s)")
-    p_check.add_argument("--txns", type=int, default=15,
-                         help="transactions per node per history "
-                              "(default %(default)s)")
-
-    sub.add_parser("locality", help="§8 locality analyses")
-
-    p_small = sub.add_parser("smallbank", help="one Zeus-vs-FaSST point")
-    p_small.add_argument("--nodes", type=int, default=3)
-    p_small.add_argument("--remote", type=float, default=0.01)
-    p_small.add_argument("--trace", metavar="FILE", default=None,
-                         help="capture a Chrome trace of the Zeus run")
-    p_small.add_argument("--metrics-out", metavar="FILE", default=None,
-                         help="dump the metrics registry snapshot as JSON")
-    p_small.add_argument("--analyze", action="store_true",
-                         help="trace the Zeus run and print the "
-                              "critical-path latency breakdown")
-    p_small.add_argument("--flow", metavar="FILE", default=None,
-                         help="trace the Zeus run and write folded-stack "
-                              "(flamegraph) lines")
-
-    p_trace = sub.add_parser(
-        "trace", help="capture a Chrome trace of a short SmallBank mix")
-    p_trace.add_argument("--out", metavar="FILE", default="trace.json",
-                         help="Chrome trace-event output (default %(default)s)")
-    p_trace.add_argument("--jsonl", metavar="FILE", default=None,
-                         help="also dump raw spans as JSON lines")
-    p_trace.add_argument("--metrics-out", metavar="FILE", default=None,
-                         help="dump the metrics registry snapshot as JSON")
-    p_trace.add_argument("--nodes", type=int, default=3)
-    p_trace.add_argument("--remote", type=float, default=0.2,
-                         help="remote-write fraction (default %(default)s)")
-    p_trace.add_argument("--duration", type=float, default=5_000.0,
-                         help="simulated run length in us")
-    p_trace.add_argument("--seed", type=int, default=1)
-
-    p_analyze = sub.add_parser(
-        "analyze", help="critical-path latency attribution per txn segment")
-    p_analyze.add_argument("--jsonl", metavar="FILE", default=None,
-                           help="analyze an existing span JSONL trace "
-                                "(default: run a traced workload inline)")
-    p_analyze.add_argument("--folded", metavar="FILE", default=None,
-                           help="also write folded-stack (flamegraph) lines")
-    p_analyze.add_argument("--nodes", type=int, default=3)
-    p_analyze.add_argument("--remote", type=float, default=0.2,
-                           help="remote-write fraction for the inline run")
-    p_analyze.add_argument("--duration", type=float, default=5_000.0,
-                           help="inline run length in simulated us")
-    p_analyze.add_argument("--seed", type=int, default=1)
-
-    sub.add_parser("list", help="experiment catalog")
-
+    handlers = {}
+    for name, help_line, setup, handler in COMMANDS:
+        p = sub.add_parser(name, help=help_line)
+        if setup is not None:
+            setup(p)
+        handlers[name] = handler
     args = parser.parse_args(argv)
-    handlers = {
-        "quickstart": _cmd_quickstart,
-        "verify": _cmd_verify,
-        "chaos": _cmd_chaos,
-        "check": _cmd_check,
-        "locality": _cmd_locality,
-        "smallbank": _cmd_smallbank,
-        "trace": _cmd_trace,
-        "analyze": _cmd_analyze,
-        "list": _cmd_list,
-    }
     return handlers[args.command](args)
 
 

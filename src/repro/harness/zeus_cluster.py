@@ -80,6 +80,10 @@ class ZeusCluster:
             # Tracers are built before any Simulator exists; bind here so
             # spans are stamped with this cluster's simulated clock.
             self.obs.tracer.sim = self.sim
+        if self.obs.profiler:
+            # Host self-profiling: the kernel times every event callback
+            # (wall clock only — scheduling and outcomes are unaffected).
+            self.sim.set_profiler(self.obs.profiler)
         self._install_stats_hook()
 
         faults = FaultInjector(self.params.faults, self.rng.stream("net.faults"),

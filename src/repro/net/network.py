@@ -134,6 +134,9 @@ class Network:
         self.total_bytes += wire_bytes
         self.total_msgs += 1
         self._c_sent.inc()
+        prof = self.obs.profiler
+        if prof:
+            prof.message(msg.kind)
 
         copies = 1
         extra_delay = 0.0

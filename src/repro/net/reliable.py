@@ -182,6 +182,13 @@ class ReliableTransport:
             chan.probing = False
             return
         chan.retries += 1
+        prof = self.obs.profiler
+        if prof:
+            # Retransmit scans walk (and re-send) the whole unacked window;
+            # their host cost scales with window size, so the profiler
+            # tracks both the scan count and the total entries scanned.
+            prof.count("retransmit.scans")
+            prof.count("retransmit.window_entries", len(chan.unacked))
         if chan.retries > self.params.max_retransmits and not chan.probing:
             # Retransmit budget exhausted.  If the peer is dead, membership
             # failure detection removes it and :meth:`on_peer_removed`

@@ -31,6 +31,12 @@ from .history import (
     HistoryRecorder,
     NullHistoryRecorder,
 )
+from .profile import (
+    NULL_PROFILER,
+    HostProfiler,
+    NullHostProfiler,
+    peak_rss_kb,
+)
 from .registry import (
     Counter,
     CounterGroup,
@@ -67,6 +73,10 @@ __all__ = [
     "HistoryRecorder",
     "NullHistoryRecorder",
     "NULL_HISTORY",
+    "HostProfiler",
+    "NullHostProfiler",
+    "NULL_PROFILER",
+    "peak_rss_kb",
     "Span",
     "Tracer",
     "TID_NET",

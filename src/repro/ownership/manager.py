@@ -63,6 +63,11 @@ KIND_DIR_SYNC = "own.dir_sync"
 
 ReqId = Tuple[NodeId, int]
 
+# Counter-key strings, precomputed so the acquire/deny hot paths don't
+# build an f-string (plus .name.lower()) per request.
+_REQ_COUNTER_KEY = {t: f"req.{t.name.lower()}" for t in ReqType}
+_DENY_COUNTER_KEY = {r: f"denied.{r.name.lower()}" for r in NackReason}
+
 
 class AcquireOutcome:
     """Result of one ownership request."""
@@ -249,7 +254,7 @@ class OwnershipManager(LifecycleMixin):
         rctx = _ReqCtx(req_id, oid, req_type, victim, Future(self.sim), self.sim.now)
         self._reqs[req_id] = rctx
         self._req_by_oid[oid] = rctx
-        self.counters.inc(f"req.{req_type.name.lower()}")
+        self.counters.inc(_REQ_COUNTER_KEY[req_type])
         span = (tracer.begin("own_acquire", pid=self.node_id, tid=thread,
                              cat="ownership", ctx=ctx, oid=oid,
                              type=req_type.name)
@@ -292,7 +297,7 @@ class OwnershipManager(LifecycleMixin):
             self._latency.record(latency)
             self.counters.inc("granted")
         else:
-            self.counters.inc(f"denied.{reason.name.lower()}")
+            self.counters.inc(_DENY_COUNTER_KEY[reason])
         ctx.future.set_result(AcquireOutcome(granted, reason, latency))
 
     def _on_timeout(self, req_id: ReqId) -> None:

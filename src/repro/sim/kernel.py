@@ -16,6 +16,7 @@ of its seed and parameters.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter_ns as _perf_ns
 from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["Simulator", "EventHandle", "SimulationError"]
@@ -56,9 +57,14 @@ class Simulator:
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq: int = 0
         self._events_executed: int = 0
+        self._cancelled_skipped: int = 0
         self._stats_hook: Optional[Callable[["Simulator"], None]] = None
         self._stats_every: int = 0
         self._stats_countdown: int = 0
+        #: Host profiler (``repro.obs.profile.HostProfiler``) or None.
+        #: When None the run loop takes the untimed path — a run without
+        #: profiling pays nothing per event beyond one ``is not None``.
+        self._profiler = None
 
     # ------------------------------------------------------------------ time
 
@@ -71,6 +77,11 @@ class Simulator:
     def events_executed(self) -> int:
         """Total events fired so far (useful for budget checks in tests)."""
         return self._events_executed
+
+    @property
+    def cancelled_skipped(self) -> int:
+        """Events popped from the heap but skipped because cancelled."""
+        return self._cancelled_skipped
 
     # ------------------------------------------------------------ statistics
 
@@ -96,6 +107,20 @@ class Simulator:
         self._stats_hook = fn
         self._stats_every = every_events if fn is not None else 0
         self._stats_countdown = self._stats_every
+
+    def set_profiler(self, profiler) -> None:
+        """Install (or remove, with None/falsy) a host profiler.
+
+        The profiler times every event callback in wall-clock nanoseconds
+        and classifies it by subsystem; it observes the host only, never
+        the simulation, so scheduling and outcomes are unaffected.
+        """
+        self._profiler = profiler if profiler else None
+
+    @property
+    def heap_pushes(self) -> int:
+        """Total events ever pushed onto the heap (= sequence counter)."""
+        return self._seq
 
     # ------------------------------------------------------------- scheduling
 
@@ -124,13 +149,20 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the heap is empty."""
+        prof = self._profiler
         while self._heap:
             time, _seq, handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._cancelled_skipped += 1
                 continue
             self._now = time
             self._events_executed += 1
-            handle.fn(*handle.args)
+            if prof is not None:
+                t0 = _perf_ns()
+                handle.fn(*handle.args)
+                prof.event(handle.fn, _perf_ns() - t0)
+            else:
+                handle.fn(*handle.args)
             if self._stats_hook is not None:
                 self._tick_stats()
             return True
@@ -152,16 +184,23 @@ class Simulator:
         """
         budget = max_events if max_events is not None else -1
         heap = self._heap
+        prof = self._profiler
         while heap:
             time, _seq, handle = heap[0]
             if until is not None and time > until:
                 break
             heapq.heappop(heap)
             if handle.cancelled:
+                self._cancelled_skipped += 1
                 continue
             self._now = time
             self._events_executed += 1
-            handle.fn(*handle.args)
+            if prof is not None:
+                t0 = _perf_ns()
+                handle.fn(*handle.args)
+                prof.event(handle.fn, _perf_ns() - t0)
+            else:
+                handle.fn(*handle.args)
             if self._stats_hook is not None:
                 self._tick_stats()
             if budget > 0:

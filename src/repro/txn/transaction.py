@@ -56,6 +56,9 @@ class TxnStats:
 
 
 class _TxnBase:
+    __slots__ = ("node", "store", "catalog", "ownership", "commit_mgr",
+                 "thread", "params", "stats", "ctx", "hop", "_h_reads")
+
     def __init__(self, node, store: ObjectStore, catalog: Catalog,
                  ownership: OwnershipManager, commit_mgr: CommitManager,
                  thread: int):
@@ -81,6 +84,9 @@ class _TxnBase:
 
 class Transaction(_TxnBase):
     """A write transaction (``tr_create``)."""
+
+    __slots__ = ("_locked", "_private", "_write_set", "_read_versions",
+                 "_finished")
 
     def __init__(self, node, store, catalog, ownership, commit_mgr, thread):
         super().__init__(node, store, catalog, ownership, commit_mgr, thread)
@@ -249,6 +255,8 @@ class ReadOnlyTransaction(_TxnBase):
     traffic: buffer version+value per read, then commit iff every object is
     still Valid at the buffered version.
     """
+
+    __slots__ = ("_buffer", "values")
 
     def __init__(self, node, store, catalog, ownership, commit_mgr, thread):
         super().__init__(node, store, catalog, ownership, commit_mgr, thread)
