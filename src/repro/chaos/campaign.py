@@ -24,7 +24,7 @@ from typing import Callable, List, Optional, Tuple
 
 from ..harness.zeus_cluster import ZeusCluster
 from ..obs import HistoryRecorder, MetricsRegistry, Observability
-from ..sim.params import FaultParams, SimParams
+from ..sim.params import DiskParams, FaultParams, SimParams
 from ..store.catalog import Catalog
 from ..verify.audit import AuditReport, CommitLedger, audit_run
 from ..workloads.base import TxnSpec, run_zeus_workload
@@ -59,6 +59,14 @@ class CampaignConfig:
     #: Record each run's transaction history and audit it for strict
     #: serializability (``repro chaos --check-history``).
     check_history: bool = False
+    #: Power-loss mode: every schedule powers off the whole cluster
+    #: mid-run and cold-starts it; a second workload wave runs after the
+    #: restart.  Requires ``disk.enabled`` for anything to survive.
+    power_loss: bool = False
+    #: Durable-storage-tier parameters for each node (fsync policy etc.).
+    disk: DiskParams = field(default_factory=DiskParams)
+    #: Post-restart workload window (power-loss mode only).
+    restart_wave_us: float = 15_000.0
 
 
 @dataclass
@@ -138,6 +146,7 @@ def _build_cluster(cfg: CampaignConfig, seed: int,
         faults=cfg.faults_baseline,
         lease_us=cfg.lease_us,
         heartbeat_us=cfg.heartbeat_us,
+        disk=cfg.disk,
     ).scaled_threads(app=cfg.app_threads, worker=cfg.app_threads)
     cluster = ZeusCluster(cfg.num_nodes, params=params, catalog=catalog,
                           seed=seed, obs=obs)
@@ -180,9 +189,20 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
     stats = run_zeus_workload(cluster, spec_fn, duration_us=cfg.duration_us,
                               threads=cfg.app_threads, seed=seed,
                               on_commit=on_commit)
+    if schedule.has_power_loss:
+        # The first wave died with the power loss; drive a second wave of
+        # traffic against the cold-started cluster (the reformed view and
+        # the reconcile pass are long settled by now — the restart lands
+        # well before ``duration_us``).
+        wave2 = run_zeus_workload(cluster, spec_fn,
+                                  duration_us=cfg.restart_wave_us,
+                                  threads=cfg.app_threads, seed=seed + 9999,
+                                  on_commit=on_commit)
+        stats.committed += wave2.committed
+        stats.aborted_txns += wave2.aborted_txns
     # Drain: retransmissions, probes across healed partitions, failure
     # detection, commit replay and arb-replay all finish in this window.
-    cluster.run(until=cfg.duration_us + cfg.quiesce_us)
+    cluster.run(until=cluster.sim.now + cfg.quiesce_us)
 
     audit = audit_run(cluster, ledger, initial_value=0, history=recorder)
     failures = cluster.failures
@@ -194,6 +214,8 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
                  for t, a, b in failures.heals]
     timeline += [f"slow(t={t:.0f},n{n},x{f:g})"
                  for t, n, f in failures.slowdowns]
+    timeline += [f"power_loss(t={t:.0f})" for t in failures.power_losses]
+    timeline += [f"cold_restart(t={t:.0f})" for t in failures.cold_restarts]
     timeline.sort(key=lambda s: float(s.split("t=", 1)[1].split(",", 1)[0].rstrip(")")))
     if schedule.has_fault_window:
         timeline.append("loss_burst")
@@ -245,7 +267,8 @@ def run_campaign(cfg: Optional[CampaignConfig] = None,
             difficulty=cfg.difficulty,
             # The first schedule always crashes a node so every campaign
             # exercises detection + replay, whatever the rng picked.
-            require_crash=(i == 0),
+            require_crash=(i == 0 and not cfg.power_loss),
+            power_loss=cfg.power_loss,
         )
         for seed in cfg.seeds:
             report = run_chaos_once(schedule, seed, cfg, obs)

@@ -15,6 +15,7 @@ from ..harness.zeus_cluster import ZeusCluster
 from ..obs import TID_NET
 from ..sim.params import FaultParams
 from .schedule import (
+    ClusterRestartEvent,
     CrashEvent,
     FaultSchedule,
     FaultWindowEvent,
@@ -62,6 +63,10 @@ class ChaosEngine:
                 self._c_windows.inc()
                 cluster.sim.call_at(ev.at_us, self._open_window, ev.params)
                 cluster.sim.call_at(ev.end_us, self._close_window)
+            elif isinstance(ev, ClusterRestartEvent):
+                cluster.power_loss(at=ev.at_us)
+                cluster.sim.call_at(ev.at_us + ev.outage_us,
+                                    cluster.cold_restart)
 
     # -------------------------------------------------------- fault windows
 

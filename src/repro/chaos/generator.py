@@ -27,6 +27,7 @@ from typing import List, Optional
 from ..sim.params import FaultParams
 from .schedule import (
     ChaosEventType,
+    ClusterRestartEvent,
     CrashEvent,
     FaultSchedule,
     FaultWindowEvent,
@@ -51,13 +52,41 @@ def generate_schedule(num_nodes: int, horizon_us: float, seed: int,
                       allow_crash: bool = True,
                       require_crash: bool = False,
                       allow_recovery: bool = True,
+                      power_loss: bool = False,
                       name: Optional[str] = None) -> FaultSchedule:
-    """Produce a validated, deterministic schedule for one run."""
+    """Produce a validated, deterministic schedule for one run.
+
+    ``power_loss=True`` switches to the durability scenario: a single
+    :class:`ClusterRestartEvent` powers off the whole cluster mid-run and
+    cold-starts it.  Other adversities are confined to *before* the
+    outage — the reconcile pass after the cold restart must converge over
+    a clean network for the post-restart audits to be meaningful (and
+    deterministic); crash/recover pairs are skipped entirely because the
+    restart revives every node anyway."""
     if not 1 <= difficulty <= 3:
         raise ValueError(f"difficulty must be 1..3, got {difficulty}")
     rng = random.Random(f"chaos-schedule/{seed}/{difficulty}/{num_nodes}")
     nodes = list(range(num_nodes))
     events: List[ChaosEventType] = []
+
+    if power_loss:
+        if difficulty >= 2:
+            start = horizon_us * rng.uniform(0.05, 0.15)
+            events.append(FaultWindowEvent(
+                at_us=start, end_us=start + horizon_us * 0.10,
+                params=FaultParams(
+                    loss_prob=0.02 * difficulty,
+                    duplicate_prob=0.01 * difficulty,
+                    reorder_max_us=4.0,
+                    reorder_prob=0.5,
+                )))
+        events.append(ClusterRestartEvent(
+            at_us=horizon_us * rng.uniform(0.40, 0.55),
+            outage_us=horizon_us * rng.uniform(0.04, 0.08)))
+        schedule = FaultSchedule(
+            events, name=name or f"power-s{seed}-d{difficulty}")
+        schedule.validate(num_nodes, horizon_us)
+        return schedule
 
     kinds = ["loss", "partition", "slowdown"]
     rng.shuffle(kinds)

@@ -16,7 +16,12 @@ clock, covering the full fault model Zeus claims to survive (Sections 3.1,
   (gray failure: alive, correct, slow);
 * :class:`FaultWindowEvent` — replace the network injector's
   :class:`~repro.sim.params.FaultParams` for a window (burst loss /
-  duplication / reordering), making fault rates time-varying.
+  duplication / reordering), making fault rates time-varying;
+* :class:`ClusterRestartEvent` — power off the *entire* cluster at once
+  and cold-start it after an outage: the durability tier's end-to-end
+  test (WAL replay, snapshot restore, membership reform, tail
+  reconcile).  Without the durability tier enabled the cluster comes
+  back empty — the paper's in-memory semantics.
 
 Schedules are plain data: they can be generated (see
 :mod:`repro.chaos.generator`), hand-written in tests, printed, and hashed
@@ -31,7 +36,8 @@ from typing import Optional, Tuple, Union
 from ..sim.params import FaultParams
 
 __all__ = ["CrashEvent", "RecoverEvent", "PartitionEvent", "SlowdownEvent",
-           "FaultWindowEvent", "FaultSchedule", "ChaosEventType"]
+           "FaultWindowEvent", "ClusterRestartEvent", "FaultSchedule",
+           "ChaosEventType"]
 
 
 @dataclass(frozen=True)
@@ -94,8 +100,21 @@ class FaultWindowEvent:
                 f"reorder={p.reorder_max_us:g}us")
 
 
+@dataclass(frozen=True)
+class ClusterRestartEvent:
+    #: Power-loss instant: every node dies at once.
+    at_us: float
+    #: How long the power stays off; the cold restart begins at
+    #: ``at_us + outage_us`` (replay time then delays the reformed view).
+    outage_us: float = 500.0
+
+    def describe(self) -> str:
+        return (f"t={self.at_us:.0f}us power-loss all nodes, cold restart "
+                f"t={self.at_us + self.outage_us:.0f}us")
+
+
 ChaosEventType = Union[CrashEvent, RecoverEvent, PartitionEvent,
-                       SlowdownEvent, FaultWindowEvent]
+                       SlowdownEvent, FaultWindowEvent, ClusterRestartEvent]
 
 
 class FaultSchedule:
@@ -157,6 +176,13 @@ class FaultSchedule:
                 if ev.end_us <= ev.at_us:
                     raise ValueError(f"window ends early in {ev.describe()}")
                 windows.append((ev.at_us, ev.end_us))
+            elif isinstance(ev, ClusterRestartEvent):
+                if ev.outage_us <= 0:
+                    raise ValueError(f"non-positive outage in {ev.describe()}")
+                # The cold restart revives every node, including ones an
+                # earlier CrashEvent took down; a later RecoverEvent for
+                # them would be a no-op, and a later crash is fresh.
+                crashed_at.clear()
         windows.sort()
         for (s1, e1), (s2, _e2) in zip(windows, windows[1:]):
             if s2 < e1:
@@ -190,6 +216,10 @@ class FaultSchedule:
     @property
     def has_fault_window(self) -> bool:
         return any(isinstance(e, FaultWindowEvent) for e in self.events)
+
+    @property
+    def has_power_loss(self) -> bool:
+        return any(isinstance(e, ClusterRestartEvent) for e in self.events)
 
     def describe(self) -> str:
         if not self.events:

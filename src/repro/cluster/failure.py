@@ -46,8 +46,12 @@ class FailureInjector:
         self._c_heals = registry.counter("faults.heals")
         self._c_slowdowns = registry.counter("faults.slowdowns")
         self._c_recoveries = registry.counter("faults.recoveries")
+        self._c_power_losses = registry.counter("faults.power_losses")
         self.crashed: List[Tuple[float, int]] = []
         self.recovered: List[Tuple[float, int]] = []
+        #: Instants the whole cluster lost power / completed a cold restart.
+        self.power_losses: List[float] = []
+        self.cold_restarts: List[float] = []
         self.partitions: List[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = []
         self.heals: List[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = []
         self.slowdowns: List[Tuple[float, int, float]] = []
@@ -77,6 +81,12 @@ class FailureInjector:
     def _crash(self, node: Node) -> None:
         if node.alive:
             node.crash()
+            dur = node.durability
+            if dur is not None:
+                # The crash loses the volatile WAL tail, and any fsync
+                # completion already in flight must never resolve a
+                # durability future for the dead incarnation (token bump).
+                dur.power_fail()
             self.crashed.append((self.sim.now, node.node_id))
             self._c_crashes.inc()
             hist = self.obs.history
@@ -86,6 +96,36 @@ class FailureInjector:
             if tracer:
                 tracer.instant("chaos.crash", pid=node.node_id, tid=TID_NET,
                                cat="chaos")
+
+    # ----------------------------------------------------------- power loss
+
+    def power_loss(self, nodes: Sequence[Node]) -> None:
+        """Full-cluster power loss: every node dies in the same instant.
+
+        Unlike a rolling set of crashes, the *cluster-wide* history
+        downgrade applies: replication cannot save an op when every replica
+        loses its memory at once, so only ops whose WAL COMMIT record had
+        been fsynced keep a settled outcome (see
+        :meth:`~repro.obs.history.HistoryRecorder.on_power_loss`)."""
+        now = self.sim.now
+        for node in nodes:
+            if node.alive:
+                node.crash()
+                dur = node.durability
+                if dur is not None:
+                    dur.power_fail()
+        self.power_losses.append(now)
+        self._c_power_losses.inc()
+        hist = self.obs.history
+        if hist:
+            hist.on_power_loss(now)
+        tracer = self.obs.tracer
+        if tracer:
+            tracer.instant("chaos.power_loss", pid=0, tid=TID_NET,
+                           cat="chaos", nodes=len(nodes))
+
+    def power_loss_at(self, nodes: Sequence[Node], time_us: float) -> None:
+        self.sim.call_at(time_us, self.power_loss, tuple(nodes))
 
     # ------------------------------------------------------------- recovery
 

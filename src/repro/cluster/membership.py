@@ -65,6 +65,7 @@ class MembershipService:
         self._last_heartbeat: Dict[NodeId, float] = {nid: 0.0 for nid in self.nodes}
         self._suspected: Dict[NodeId, float] = {}  # node -> lease-expiry time
         self._pending_install: Optional[float] = None
+        self._started = False
         self.view_history: List[View] = [self.view]
         for node in nodes:
             node.on_view_change(self.view.epoch, self.view.live,
@@ -72,6 +73,7 @@ class MembershipService:
 
     def start(self) -> None:
         """Begin heartbeat collection and the detector scan loop."""
+        self._started = True
         for node in self.nodes.values():
             node.spawn(self._heartbeat_loop(node), name="heartbeat")
         self.sim.call_after(self.params.heartbeat_us, self._scan)
@@ -164,6 +166,39 @@ class MembershipService:
         self._suspected.pop(node_id, None)
         node.spawn(self._heartbeat_loop(node), name="heartbeat")
         self._install(frozenset(self.view.live | {node_id}))
+
+    # ---------------------------------------------------------- cold restart
+
+    def reform(self, epoch_floor: int = 0,
+               at: Optional[float] = None) -> None:
+        """Re-form the cluster after a full power loss + cold restart.
+
+        Every node is live again; the new epoch is strictly above both the
+        service's own last epoch *and* ``epoch_floor`` (the highest epoch
+        any node's WAL persisted), so no pre-outage message — however it
+        survived — can carry the reformed epoch.  There is no lease dance:
+        with every node provably down there is no old incarnation left to
+        fence.  Heartbeat loops are respawned (the old ones died with
+        their nodes) when the detector had been started."""
+        if at is not None:
+            self.sim.call_at(at, self.reform, epoch_floor)
+            return
+        epoch = max(self.view.epoch, epoch_floor) + 1
+        live = frozenset(self.nodes)
+        now = self.sim.now
+        self._suspected.clear()
+        self._pending_install = None
+        for nid in self.nodes:
+            self._last_heartbeat[nid] = now
+        self.view = View(epoch, live,
+                         {nid: n.incarnation for nid, n in self.nodes.items()})
+        self.view_history.append(self.view)
+        wire = self.params.net.wire_latency_us
+        for nid, node in self.nodes.items():
+            if self._started:
+                node.spawn(self._heartbeat_loop(node), name="heartbeat")
+            self.sim.call_after(wire, node.on_view_change, epoch, live,
+                                self.view.incarnations)
 
     # -------------------------------------------------------------- helper
 

@@ -75,6 +75,10 @@ class Node:
         self.joining = False
         self.transport.fence_fn = self._fence
         self.transport.peer_inc_fn = self._believed_incarnation
+        #: Durable-storage tier (:class:`~repro.store.wal.DurabilityManager`)
+        #: or None when the WAL is disabled — protocol layers pay a single
+        #: falsy check on their hot paths (same contract as NULL_TRACER).
+        self.durability = None
         #: Trace context of the message handler currently running, if any.
         #: Handlers run synchronously at their dispatch time (the sim is
         #: single-threaded), so sends issued inside a handler inherit the
@@ -285,6 +289,8 @@ class Node:
         added = (live - self.live_nodes) if self.live_nodes else frozenset()
         self.epoch = epoch
         self.live_nodes = live
+        if self.durability is not None:
+            self.durability.log_epoch(epoch)
         if incarnations:
             for peer, inc in incarnations.items():
                 if peer != self.node_id:

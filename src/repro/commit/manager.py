@@ -57,7 +57,7 @@ class _Slot:
     """Coordinator-side state of one pending reliable commit."""
 
     __slots__ = ("inv", "needed", "acked", "extras", "future", "submitted_at",
-                 "span")
+                 "span", "wal_key", "persist")
 
     def __init__(self, inv: RInv, submitted_at: float):
         self.inv = inv
@@ -70,6 +70,10 @@ class _Slot:
         self.submitted_at = submitted_at
         #: Open ``commit_replicate`` tracer span (None when tracing is off).
         self.span = None
+        #: WAL key of this slot's REDO record (None when the WAL is off).
+        self.wal_key = None
+        #: Resolves when the slot's COMMIT record is fsynced (WAL only).
+        self.persist: Optional[Future] = None
 
 
 class _CoordPipeline:
@@ -127,6 +131,7 @@ class CommitManager:
         self._recovering_epoch: Optional[int] = None
         #: Live set of the previous view, for spotting re-admitted peers.
         self._prev_live: frozenset = frozenset()
+        self.last_persist: Optional[Future] = None
 
         obs = node.obs
         self.tracer = obs.tracer
@@ -181,16 +186,21 @@ class CommitManager:
         return None
 
     def submit(self, thread: int, updates: List[Update],
-               followers: Set[NodeId], ctx=None) -> Future:
+               followers: Set[NodeId], ctx=None, wal_key=None) -> Future:
         """Begin the reliable commit of a locally-committed transaction.
 
         Non-blocking.  Returns a future completing when the transaction is
-        reliably committed (tests and durability-sensitive apps may wait on
-        it; normal workloads do not).
+        durably committed — at the replication point, or, under the WAL's
+        ``ack_policy="persist"``, when the coordinator's COMMIT record is
+        fsynced (tests and durability-sensitive apps may wait on it; normal
+        workloads do not).
 
         ``ctx`` links the slot's ``commit_replicate`` span (and therefore
         every R-INV and remote ``commit_ack`` service span) to the
-        submitting transaction's trace.
+        submitting transaction's trace.  ``wal_key`` is the REDO record key
+        the transaction layer logged at local commit (where pre-images were
+        still at hand); callers that skip it get a pre-image-free REDO
+        logged here.
         """
         pipe = self._coord.setdefault(thread, _CoordPipeline())
         slot_no = pipe.next_slot
@@ -205,6 +215,15 @@ class CommitManager:
                    updates, prev_val=prev_done)
         slot = _Slot(inv, self.sim.now)
         slot.future = Future(self.sim)
+        dur = self.node.durability
+        if dur is not None:
+            if wal_key is None:
+                wal_key = dur.log_redo_coord(thread, updates, pre=[])
+            slot.wal_key = wal_key
+            slot.persist = Future(self.sim)
+        #: Persist future of the most recent submit (read synchronously by
+        #: the txn layer to stamp ``persisted_at``); None when the WAL is off.
+        self.last_persist = slot.persist
         pipe.slots[slot_no] = slot
         for oid, _ver, _data, _size in updates:
             self._pending_by_oid[oid] = self._pending_by_oid.get(oid, 0) + 1
@@ -281,10 +300,48 @@ class CommitManager:
             self.counters.inc("committed")
             if slot.span is not None:
                 self.tracer.end(slot.span, acked=len(slot.acked))
-            if slot.future is not None and not slot.future.done():
+            dur = self.node.durability
+            if dur is not None and slot.wal_key is not None:
+                self._persist_slot(dur, slot, pipeline_id)
+            elif slot.future is not None and not slot.future.done():
                 slot.future.set_result(None)
             if pipe.room is not None and len(pipe.slots) < self.max_pipeline_depth:
                 pipe.room.set()
+
+    def _persist_slot(self, dur, slot: _Slot, pipeline_id: PipelineId) -> None:
+        """Log the slot's COMMIT record and settle its futures.
+
+        The commit ack (``slot.future``) resolves now under
+        ``ack_policy="replication"`` (the paper's semantics; disk
+        persistence is asynchronous), or only when the COMMIT record's
+        fsync completes under ``"persist"``.  ``slot.persist`` always
+        resolves at the fsync — the history recorder stamps
+        ``persisted_at`` from it.  A crash in the window kills the fsync
+        (token discard), both futures stay pending, and the op is audited
+        as maybe-committed.
+        """
+        pf = dur.log_commit(slot.wal_key, want_future=True)
+        ack_persist = dur.ack_persist
+        if not ack_persist and slot.future is not None and not slot.future.done():
+            slot.future.set_result(None)
+        pspan = None
+        if slot.span is not None and not pf.done():
+            pspan = self.tracer.begin("commit_persist", pid=self.node_id,
+                                      tid=TID_REPLICATION + pipeline_id[1],
+                                      cat="commit", ctx=slot.span.ctx,
+                                      slot=slot.inv.slot)
+        persist_fut = slot.persist
+        ack_fut = slot.future if ack_persist else None
+
+        def _done(_f):
+            if pspan is not None:
+                self.tracer.end(pspan)
+            if persist_fut is not None and not persist_fut.done():
+                persist_fut.set_result(None)
+            if ack_fut is not None and not ack_fut.done():
+                ack_fut.set_result(None)
+
+        pf.add_done_callback(_done)
 
     def _validate_local(self, slot: _Slot) -> None:
         for oid, version, _data, _size in slot.inv.updates:
@@ -359,17 +416,33 @@ class CommitManager:
 
     def _apply_rinv(self, fpipe: _FollowerPipeline, inv: RInv,
                     ack_to: Optional[NodeId]) -> None:
+        dur = self.node.durability
+        pre: List[Tuple[ObjectId, int, object]] = []
         records: List[Tuple[ObjectId, int]] = []
         for oid, version, data, _size in inv.updates:
             obj = self.store.get(oid)
             if obj is None:
-                continue  # no longer a replica (trimmed mid-flight)
+                own = self.ownership
+                if own is None or not own.claim_provisional(oid):
+                    continue  # no longer a replica (trimmed mid-flight)
+                # We are listed as a replica but the granted copy has not
+                # landed yet (the grant is slower than this write).  Adopt
+                # the write's full value as our first copy so the late
+                # grant's stale version loses the monotonicity guard
+                # instead of creating the object behind current state.
+                obj = self.store.create(oid, None, None)
+                obj.t_version = -1
             if obj.t_version >= version:
                 continue  # newer value already applied: idempotence
+            if dur is not None:
+                pre.append((oid, obj.t_version, obj.t_data))
             obj.t_data = data
             obj.t_version = version
             obj.t_state = TState.INVALID
             records.append((oid, version))
+        if dur is not None and records:
+            dur.log_redo(("f",) + inv.pipeline + (inv.slot,),
+                         inv.updates, pre)
         fpipe.applied[inv.slot] = (inv, records)
         fpipe.settled = max(fpipe.settled, inv.slot)
         self.counters.inc("applied")
@@ -418,12 +491,15 @@ class CommitManager:
                 fpipe.settled = max(fpipe.settled, slot)
             else:
                 targets = [slot] if slot in fpipe.applied else []
+            dur = self.node.durability
             for s in sorted(targets):
                 _inv, records = fpipe.applied.pop(s)
                 for oid, version in records:
                     obj = self.store.get(oid)
                     if obj is not None and obj.t_version == version:
                         obj.t_state = TState.VALID
+                if dur is not None and records:
+                    dur.log_commit(("f",) + pipeline + (s,))
             if cumulative:
                 self._drain_buffer(fpipe)
         self._maybe_done_recovering()
@@ -536,6 +612,9 @@ class CommitManager:
                 obj = self.store.get(oid)
                 if obj is not None and obj.t_version == version:
                     obj.t_state = TState.VALID
+            dur = self.node.durability
+            if dur is not None and records:
+                dur.log_commit(("f",) + pipeline + (slot_no,))
         self._maybe_done_recovering()
 
     def _maybe_done_recovering(self) -> None:

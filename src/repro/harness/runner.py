@@ -77,7 +77,10 @@ def _cmd_chaos(args) -> int:
         run_chaos_once,
     )
     from ..obs import Observability, Tracer, write_chrome_trace, write_metrics
+    from ..sim.params import DiskParams
 
+    power_loss = args.power_loss
+    wal = args.wal or power_loss
     cfg = CampaignConfig(
         num_nodes=args.nodes,
         num_objects=args.objects,
@@ -88,6 +91,9 @@ def _cmd_chaos(args) -> int:
         difficulty=args.difficulty,
         schedule_seed_base=args.schedule_seed_base,
         check_history=args.check_history,
+        power_loss=power_loss,
+        disk=DiskParams(enabled=wal, fsync_policy=args.fsync,
+                        ack_policy=args.ack),
     )
 
     if args.show_schedules:
@@ -95,7 +101,9 @@ def _cmd_chaos(args) -> int:
             schedule = generate_schedule(
                 cfg.num_nodes, cfg.duration_us,
                 seed=cfg.schedule_seed_base + i,
-                difficulty=cfg.difficulty, require_crash=(i == 0))
+                difficulty=cfg.difficulty,
+                require_crash=(i == 0 and not power_loss),
+                power_loss=power_loss)
             print(schedule.describe())
         return 0
 
@@ -103,7 +111,8 @@ def _cmd_chaos(args) -> int:
         # Trace the first grid cell (fault instants included) on the side.
         schedule = generate_schedule(
             cfg.num_nodes, cfg.duration_us, seed=cfg.schedule_seed_base,
-            difficulty=cfg.difficulty, require_crash=True)
+            difficulty=cfg.difficulty, require_crash=not power_loss,
+            power_loss=power_loss)
         obs = Observability(tracer=Tracer())
         run_chaos_once(schedule, cfg.seeds[0], cfg, obs=obs)
         write_chrome_trace(obs.tracer, args.trace)
@@ -466,6 +475,18 @@ def _args_chaos(p: argparse.ArgumentParser) -> None:
                         "for strict serializability")
     p.add_argument("--show-schedules", action="store_true",
                    help="print the generated fault timelines and exit")
+    p.add_argument("--power-loss", action="store_true",
+                   help="durability campaign: every schedule powers off the "
+                        "whole cluster mid-run and cold-starts it "
+                        "(implies --wal)")
+    p.add_argument("--wal", action="store_true",
+                   help="enable the per-node write-ahead log + snapshots")
+    p.add_argument("--fsync", choices=("group", "always"), default="group",
+                   help="WAL fsync policy (default %(default)s)")
+    p.add_argument("--ack", choices=("replication", "persist"),
+                   default="replication",
+                   help="commit-ack point: the paper's replication point or "
+                        "the WAL COMMIT fsync (default %(default)s)")
     p.add_argument("--trace", metavar="FILE", default=None,
                    help="Chrome trace of the first cell (chaos instants)")
     p.add_argument("--metrics-out", metavar="FILE", default=None,

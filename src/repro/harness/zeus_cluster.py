@@ -31,6 +31,7 @@ from ..sim.rng import RngRegistry
 from ..store.catalog import Catalog, ObjectId
 from ..store.directory import DirectoryTable
 from ..store.object_store import ObjectStore
+from ..store.wal import DurabilityManager
 from ..txn.api import ZeusAPI
 
 __all__ = ["ZeusCluster", "ZeusHandle"]
@@ -108,6 +109,10 @@ class ZeusCluster:
                           rng=self.rng.stream(f"api.{nid}"))
             recovery = RecoveryManager(node, store, self.catalog, directory,
                                        ownership, commit)
+            if self.params.disk.enabled:
+                node.durability = DurabilityManager(
+                    node, store, directory, self.params.disk,
+                    self.obs.registry)
             self.handles.append(ZeusHandle(node, store, directory, ownership,
                                            commit, api, recovery))
 
@@ -148,6 +153,12 @@ class ZeusCluster:
             for reader in replicas.readers:
                 self.handles[reader].store.create(oid, value, None)
         self._loaded = True
+        for h in self.handles:
+            if h.node.durability is not None:
+                # Genesis snapshot covers the loaded state; armed here so a
+                # power loss before the first periodic snapshot still
+                # recovers the initial placement.
+                h.node.durability.start()
 
     # ------------------------------------------------------------ execution
 
@@ -188,7 +199,61 @@ class ZeusCluster:
                           if n == node.node_id), default=self.sim.now)
         node.restart()
         self.handles[node.node_id].recovery.on_restart(crash_time)
+        if node.durability is not None:
+            # Warm rejoin: the node rebuilds from live donors, which
+            # supersedes the old disk image — retire it (wipe) and let the
+            # snapshot loop capture the transferred state.
+            node.durability.on_restart(wipe=True)
         self.membership.admit(node.node_id)
+
+    # ---------------------------------------------------------- power loss
+
+    def power_loss(self, at: Optional[float] = None) -> None:
+        """Power off the entire cluster (optionally scheduled)."""
+        if at is None:
+            self.failures.power_loss(self.nodes)
+        else:
+            self.failures.power_loss_at(self.nodes, at)
+
+    def cold_restart(self, boot_us: float = 200.0) -> float:
+        """Cold-start the whole cluster after :meth:`power_loss`.
+
+        Every node reboots, replays its durable image (snapshot restore,
+        then WAL redo of committed slots and undo of in-flight ones), and
+        the membership service re-forms under an epoch strictly above any
+        epoch persisted in a WAL.  The reformed view installs once the
+        slowest replay has finished (replay time is the reboot delay);
+        the per-node reconcile pass then runs off that view.  Returns the
+        view-install time.  Without a durability tier, a cold restart is
+        total amnesia — the cluster comes back empty, which is exactly
+        the paper's in-memory semantics."""
+        if any(n.alive for n in self.nodes):
+            raise RuntimeError("cold_restart requires a full power loss first")
+        outage_at = (self.failures.power_losses[-1]
+                     if self.failures.power_losses else self.sim.now)
+        max_replay = 0.0
+        epoch_floor = 0
+        for h in self.handles:
+            node = h.node
+            node.restart()
+            h.store.clear()
+            if h.directory is not None:
+                h.directory.clear()
+            dur = node.durability
+            floored = ()
+            if dur is not None:
+                stats = dur.replay()
+                dur.on_restart()
+                epoch_floor = max(epoch_floor, stats.epoch)
+                max_replay = max(max_replay, stats.replay_us)
+                floored = stats.floored
+            h.ownership.reset_for_restart()
+            h.commit.reset_for_restart()
+            h.recovery.on_cold_restart(outage_at, floored=floored)
+        view_at = self.sim.now + max(boot_us, max_replay)
+        self.membership.reform(epoch_floor, at=view_at)
+        self.failures.cold_restarts.append(view_at)
+        return view_at
 
     def partition(self, a_side, b_side, at: Optional[float] = None,
                   heal_at: Optional[float] = None) -> None:

@@ -18,7 +18,7 @@ and ack traffic, a trade-off Section 8.2 calls out explicitly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..obs import TID_NET
 from ..sim.kernel import EventHandle, Simulator
@@ -97,6 +97,17 @@ class ReliableTransport:
         self._c_probes = registry.counter("net.probes", node=node_id)
         self._c_resets = registry.counter("net.channel_resets", node=node_id)
         network.attach(node_id, self._on_wire)
+
+    def watermarks(self) -> Dict[NodeId, Tuple[int, int]]:
+        """Per-peer ``(next_seq_out, expected_in)`` sequence watermarks.
+
+        Read-only introspection captured into crash-consistent snapshots;
+        a cold start never restores them (fresh incarnations reset every
+        channel), but they document where each stream stood on disk."""
+        peers = set(self._send) | set(self._recv)
+        return {p: (self._send[p].next_seq if p in self._send else 0,
+                    self._recv[p].expected if p in self._recv else 0)
+                for p in sorted(peers)}
 
     @property
     def retransmissions(self) -> int:

@@ -6,7 +6,7 @@ execution (§4) and broadcast commit hiding replication latency (§5) — so
 this module turns a causal trace (spans linked by ``trace``/``parent``
 ids, wire flows linked by ``flow`` ids) into per-transaction
 :class:`TxnTimeline`\\ s, attributing every instant of a transaction's
-end-to-end latency to one of seven named segments:
+end-to-end latency to one of eight named segments:
 
 ``local CPU``
     the application thread is executing (setup, reads, writes, local
@@ -27,9 +27,13 @@ end-to-end latency to one of seven named segments:
 ``replication-ACK wait``
     residual of the replication windows: pipeline back-pressure
     (``commit_wait_room``) plus the tail between the app-visible commit
-    and the last ``commit_replicate`` validation of the transaction.
+    and the last ``commit_replicate`` validation of the transaction;
+``disk``
+    blocked on the durability tier — the ``commit_persist`` window
+    between the slot's validation and its WAL COMMIT record's fsync
+    (zero when the WAL is disabled).
 
-**The invariant**: per transaction, the seven segments partition the
+**The invariant**: per transaction, the eight segments partition the
 timeline exactly.  Attribution runs on integer nanoseconds (simulated
 time quantized at 1 ns), so ``sum(segments) == duration`` holds *exactly*,
 not approximately — enforced by a property test.  Within a blocked
@@ -65,11 +69,16 @@ SEGMENTS = (
     "ownership-blocked",
     "replication-ACK wait",
     "retransmit stall",
+    "disk",
 )
 
 #: Sub-attribution precedence inside a blocked window (highest first).
 _PRECEDENCE = ("retransmit stall", "remote-CPU service", "CPU-queue wait",
                "wire")
+
+#: Overlapping-window residual precedence (lower = more specific).
+_RESIDUAL_PRIORITY = {"disk": 0, "ownership-blocked": 1,
+                      "replication-ACK wait": 2}
 
 _NS_PER_US = 1000
 
@@ -83,8 +92,9 @@ class TxnTimeline:
     """One transaction's reconstructed, fully-attributed timeline.
 
     ``start_us``/``end_us`` span from the ``txn`` span's start to the
-    later of its end and the last linked ``commit_replicate`` validation
-    (the paper's "commit latency" includes the replication tail).
+    latest of its end, the last linked ``commit_replicate`` validation
+    (the paper's "commit latency" includes the replication tail), and the
+    last ``commit_persist`` fsync when the WAL is on.
     ``segments_ns`` partitions that interval exactly.
     """
 
@@ -210,7 +220,9 @@ def _attribute(start: int, end: int,
     ``windows`` are blocked intervals with their residual segment name;
     anything uncovered is local CPU.  Inside a window, ``details``
     (stall/service/queue/wire intervals) take precedence over the
-    residual, resolved by :data:`_PRECEDENCE`.
+    residual, resolved by :data:`_PRECEDENCE`.  Where windows overlap
+    (the fsync wait rides inside the replication tail) the most specific
+    residual wins, per :data:`_RESIDUAL_PRIORITY`.
     """
     segments = {name: 0 for name in SEGMENTS}
     if end <= start:
@@ -227,9 +239,10 @@ def _attribute(start: int, end: int,
             continue
         residual = None
         for wa, wb, name in windows:
-            if wa <= a and b <= wb:
+            if wa <= a and b <= wb and (
+                    residual is None
+                    or _RESIDUAL_PRIORITY[name] < _RESIDUAL_PRIORITY[residual]):
                 residual = name
-                break
         if residual is None:
             segments["local CPU"] += b - a
             continue
@@ -263,12 +276,17 @@ def build_timelines(source) -> List[TxnTimeline]:
         start = _ns(root["start_us"])
         base_end = _ns(root["end_us"])
         repl_ends = [_ns(s["end_us"]) for s in spans
-                     if s["name"] == "commit_replicate"]
+                     if s["name"] in ("commit_replicate", "commit_persist")]
         end = max([base_end] + repl_ends)
 
         windows: List[Tuple[int, int, str]] = []
         for s in spans:
-            if s["name"] == "own_acquire":
+            if s["name"] == "commit_persist":
+                iv = _interval_clip(_ns(s["start_us"]), _ns(s["end_us"]),
+                                    start, end)
+                if iv:
+                    windows.append((iv[0], iv[1], "disk"))
+            elif s["name"] == "own_acquire":
                 iv = _interval_clip(_ns(s["start_us"]), _ns(s["end_us"]),
                                     start, end)
                 if iv:

@@ -64,7 +64,7 @@ class HistoryOp:
 
     __slots__ = ("op_id", "node", "thread", "kind", "invoked_at",
                  "responded_at", "reads", "writes", "outcome", "durable",
-                 "durable_at")
+                 "durable_at", "persisted", "persisted_at")
 
     def __init__(self, op_id: int, node: int, thread: int, kind: str,
                  invoked_at: float):
@@ -83,6 +83,13 @@ class HistoryOp:
         #: When replication fully acked (the write's visibility point
         #: under early commit ack); ``None`` until then.
         self.durable_at: Optional[float] = None
+        #: Disk durability: flipped when the coordinator's WAL COMMIT
+        #: record is fsynced.  Stays False/None when the WAL is disabled —
+        #: replication-durable is then the strongest guarantee on offer
+        #: (today's semantics), and a *full-cluster* power loss may lose
+        #: the op even though :attr:`durable` was set.
+        self.persisted = False
+        self.persisted_at: Optional[float] = None
 
     @property
     def committed(self) -> bool:
@@ -140,6 +147,19 @@ class HistoryRecorder:
             future.add_done_callback(
                 lambda f: self.mark_durable(op, f.sim.now))
 
+    def mark_persisted(self, op: HistoryOp, now: Optional[float] = None) -> None:
+        """The op's COMMIT record reached disk — it survives power loss."""
+        op.persisted = True
+        op.persisted_at = now
+
+    def attach_persistence(self, op: HistoryOp, future) -> None:
+        """Flip :attr:`HistoryOp.persisted` when ``future`` (the WAL COMMIT
+        record's fsync) resolves.  No-op when ``future`` is None — the WAL
+        is disabled and replication-durable remains the only guarantee."""
+        if future is not None:
+            future.add_done_callback(
+                lambda f: self.mark_persisted(op, f.sim.now))
+
     # ---------------------------------------------------------------- faults
 
     def on_crash(self, node_id: int, now: float) -> None:
@@ -158,6 +178,45 @@ class HistoryRecorder:
                 op.outcome = INDETERMINATE
                 if op.responded_at is None:
                     op.responded_at = now
+
+    def on_power_loss(self, now: float) -> None:
+        """Full-cluster power loss: only *disk*-durable outcomes survive.
+
+        Replication-durable ops (every live follower acked, but the WAL
+        COMMIT record had not been fsynced — or there is no WAL) lose
+        their memory-only copies along with everyone else's; cold-start
+        replay may or may not resurrect them from a follower's durable
+        tail, so they become maybe-committed.  Ops with ``persisted_at``
+        set are untouched: replay guarantees them (the no-lost-durable-
+        commit audit holds it to that).
+
+        Reads get the same treatment transitively: a committed op that
+        *observed* a version whose writer never persisted observed state
+        the outage may have erased — if replay undoes that write, the
+        version label can be reissued for a different value after the
+        restart, and the old observation belongs to a discarded branch.
+        Such ops become maybe-committed too.  Observations of versions no
+        recorded op wrote (the pre-loaded initial state) are safe: the
+        genesis snapshot persists them.
+        """
+        persisted_writes = {(oid, version)
+                            for op in self.ops if op.persisted
+                            for oid, version, _at in op.writes}
+        lost_writes = {(oid, version)
+                       for op in self.ops if not op.persisted
+                       for oid, version, _at in op.writes
+                       if (oid, version) not in persisted_writes}
+        for op in self.ops:
+            if op.outcome is None:
+                op.outcome = INDETERMINATE
+                op.responded_at = now
+            elif op.outcome != COMMITTED:
+                continue
+            elif not op.persisted and op.kind == "write":
+                op.outcome = INDETERMINATE
+            elif any((oid, version) in lost_writes
+                     for oid, version, _at in op.reads):
+                op.outcome = INDETERMINATE
 
     # ------------------------------------------------------------- inspection
 
@@ -197,7 +256,16 @@ class NullHistoryRecorder:
     def attach_durability(self, op, future) -> None:
         pass
 
+    def mark_persisted(self, op, now=None) -> None:
+        pass
+
+    def attach_persistence(self, op, future) -> None:
+        pass
+
     def on_crash(self, node_id, now) -> None:
+        pass
+
+    def on_power_loss(self, now) -> None:
         pass
 
     def committed_ops(self) -> List[HistoryOp]:

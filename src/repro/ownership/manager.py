@@ -146,6 +146,9 @@ class OwnershipManager(LifecycleMixin):
         self._next_req_id = 0
         self._reqs: Dict[ReqId, _ReqCtx] = {}
         self._req_by_oid: Dict[ObjectId, _ReqCtx] = {}
+        #: Objects created from an R-INV that raced our acquisition; kept
+        #: only if the acquisition is granted (see :meth:`acquiring`).
+        self._provisional: Set[ObjectId] = set()
         #: Arbiter-side pending arbitration, one per object (the stored INV
         #: is what arb-replay re-transmits).
         self._pending_arb: Dict[ObjectId, OwnInv] = {}
@@ -290,6 +293,18 @@ class OwnershipManager(LifecycleMixin):
         if self._req_by_oid.get(ctx.oid) is ctx:
             del self._req_by_oid[ctx.oid]
         obj = self.store.get(ctx.oid)
+        if ctx.oid in self._provisional:
+            self._provisional.discard(ctx.oid)
+            if (not granted and obj is not None
+                    and (obj.o_replicas is None
+                         or obj.o_replicas.owner != self.node_id)):
+                # Provisional copy (adopted from a racing R-INV, or a
+                # settled arbitration told us we are evicted) and the
+                # acquisition that would have re-listed us failed: we are
+                # not durably listed, so keeping the copy would serve
+                # ever-staler reads.
+                self.store.drop(ctx.oid)
+                obj = None
         if obj is not None and obj.o_state == OState.REQUEST:
             obj.o_state = OState.VALID
         latency = self.sim.now - ctx.started_at
@@ -328,6 +343,26 @@ class OwnershipManager(LifecycleMixin):
             ctx.data_version = ack.data_version
         if ctx.arbiters is not None and set(ctx.arbiters) <= ctx.acks:
             self._apply_and_validate(ctx)
+
+    def claim_provisional(self, oid: ObjectId) -> bool:
+        """Approve adopting an R-INV's value as our first copy of ``oid``.
+
+        The commit layer calls this when an R-INV arrives for an object we
+        do not hold while an inbound acquisition (owner or reader) for it
+        is in flight: the directory already lists us (that is why the
+        coordinator included us in the follower set), so the write's value
+        must be adopted — otherwise a reordered, slower grant could later
+        install an older version over nothing and serve stale reads.  The
+        object is tracked as *provisional*: kept if the acquisition is
+        granted, dropped if it fails (an unlisted copy never sees another
+        invalidation and would serve ever-staler reads)."""
+        ctx = self._req_by_oid.get(oid)
+        if (ctx is None or ctx.done
+                or ctx.req_type not in (ReqType.ACQUIRE_OWNER,
+                                        ReqType.ADD_READER)):
+            return False
+        self._provisional.add(oid)
+        return True
 
     def _apply_and_validate(self, ctx: _ReqCtx) -> None:
         """All ACKs in: apply locally *first* (paper: the requester must
@@ -370,6 +405,8 @@ class OwnershipManager(LifecycleMixin):
                 obj.o_ts = o_ts
                 obj.o_replicas = stripped
                 obj.o_state = OState.VALID
+        if obj is not None:
+            self._log_store(obj)
 
     def _maybe_trim(self, oid: ObjectId, req_type: ReqType,
                     new_replicas: ReplicaSet) -> None:
@@ -659,6 +696,29 @@ class OwnershipManager(LifecycleMixin):
             return
         self._apply_arbitration(cur)
 
+    # ------------------------------------------------------ durability hooks
+
+    def _log_dir(self, oid: ObjectId, entry) -> None:
+        """WAL an OWN record for a *settled* directory entry (directory
+        hosts only; in-flight arbitration state is never persisted — an
+        interrupted arbitration is settled by arb-replay, not by disk)."""
+        dur = self.node.durability
+        if dur is not None:
+            dur.log_own(oid, entry.o_ts, entry.replicas)
+
+    def _log_store(self, obj: StoredObject) -> None:
+        """WAL a GRANT record for a settled ownership change on the store
+        side.  The value rides along only when transactionally Valid — an
+        in-flight reliable commit's WRITE-state data must reach disk via
+        its own REDO/COMMIT records, never via an ownership grant."""
+        dur = self.node.durability
+        if dur is not None:
+            ok = obj.t_state == TState.VALID
+            dur.log_grant(obj.oid, obj.o_ts, obj.o_replicas,
+                          obj.t_version if ok else None,
+                          obj.t_data if ok else None,
+                          self.catalog.size_of(obj.oid) if ok else 0)
+
     def _apply_arbitration(self, inv: OwnInv) -> None:
         oid = inv.oid
         self._pending_arb.pop(oid, None)
@@ -678,20 +738,34 @@ class OwnershipManager(LifecycleMixin):
             entry.replicas = replicas
             entry.o_ts = inv.o_ts
             entry.o_state = OState.VALID
+            self._log_dir(oid, entry)
         self._sync_absent_dir_hosts(inv)
 
         obj = self.store.get(oid)
         if obj is None:
             return
-        if inv.req_type == ReqType.REMOVE_READER and inv.new_replicas.owner != self.node_id:
-            still_replica = self.node_id in replicas.all_nodes()
-            if not still_replica:
+        if self.node_id not in replicas.all_nodes():
+            # The settled view excludes us, so our copy is garbage: an
+            # unlisted replica never receives another invalidation, and
+            # re-blessing it Valid here would let it serve ever-staler
+            # reads.  This must cover *every* req_type, not just our own
+            # REMOVE_READER eviction — a lost VAL leaves the eviction
+            # unapplied, and the next settled arbitration (any type) is
+            # then the only messenger telling us we are out.  With an
+            # acquisition of our own in flight the copy may be about to
+            # become listed again, so it is demoted to *provisional*
+            # instead: kept if that acquisition is granted, dropped when
+            # it fails (see claim_provisional).
+            ctx = self._req_by_oid.get(oid)
+            if ctx is None or ctx.done:
                 self.store.drop(oid)
                 self.counters.inc("replica_dropped")
                 return
+            self._provisional.add(oid)
         obj.o_state = OState.VALID
         obj.o_ts = inv.o_ts
         obj.o_replicas = replicas if replicas.owner == self.node_id else None
+        self._log_store(obj)
 
     def _on_abort(self, msg: Message) -> None:
         abort: OwnAbort = msg.payload
@@ -712,6 +786,7 @@ class OwnershipManager(LifecycleMixin):
             entry.o_state = OState.VALID
             # o_ts stays bumped: the aborted version number is burned so a
             # retry can never collide with the aborted request.
+            self._log_dir(abort.oid, entry)
         self._sync_absent_dir_hosts(cur)
         obj = self.store.get(abort.oid)
         if obj is not None and obj.o_state == OState.INVALID:
@@ -720,6 +795,7 @@ class OwnershipManager(LifecycleMixin):
             # own demotion VAL was superseded by the (now aborted) larger
             # request must not resurrect a stale self-as-owner view.
             obj.o_replicas = prev if prev.owner == self.node_id else None
+            self._log_store(obj)
         self.counters.inc("arb_aborted")
 
     # ----------------------------------------------------- directory repair
@@ -764,7 +840,8 @@ class OwnershipManager(LifecycleMixin):
             replicas = replicas.without(nid)
         entry = self.directory.get(oid)
         if entry is None:
-            self.directory.create(oid, replicas, o_ts)
+            entry = self.directory.create(oid, replicas, o_ts)
+            self._log_dir(oid, entry)
             self.counters.inc("dir_sync_applied")
             return
         # ``>=`` (not ``>``): an abort keeps the bumped o_ts but reverts the
@@ -774,6 +851,7 @@ class OwnershipManager(LifecycleMixin):
         if entry.o_state == OState.VALID and o_ts >= entry.o_ts:
             entry.replicas = replicas
             entry.o_ts = o_ts
+            self._log_dir(oid, entry)
             self.counters.inc("dir_sync_applied")
 
     # ======================================================================
@@ -791,6 +869,7 @@ class OwnershipManager(LifecycleMixin):
         """
         self._reqs.clear()
         self._req_by_oid.clear()
+        self._provisional.clear()
         self._pending_arb.clear()
         self._replays.clear()
         self._fetch_waiting.clear()

@@ -37,15 +37,15 @@ histograms, and ``recovery.transfer`` / ``recovery.repair`` trace spans.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..cluster.node import Node
 from ..net.message import Message, NodeId
-from ..ownership.manager import OwnershipManager
+from ..ownership.manager import KIND_DIR_SYNC, OwnershipManager
 from ..ownership.messages import ReqType
 from ..store.catalog import Catalog, ObjectId
 from ..store.directory import DirectoryTable
-from ..store.meta import Ots, OState, ReplicaSet
+from ..store.meta import Ots, OState, ReplicaSet, TState
 from ..store.object_store import ObjectStore
 
 __all__ = ["RecoveryManager"]
@@ -57,6 +57,9 @@ KIND_REPAIR = "rec.repair"
 KIND_REPAIR_SCAN = "rec.repair_scan"
 KIND_FETCH = "rec.fetch"
 KIND_DATA = "rec.data"
+KIND_TAIL = "rec.tail"
+KIND_TAIL_VER = "rec.tail_ver"
+KIND_TAIL_DATA = "rec.tail_data"
 
 #: Directory entries per snapshot chunk.
 _CHUNK_ENTRIES = 32
@@ -66,6 +69,10 @@ _ENTRY_BYTES = 24
 _CHUNK_GAP_US = 5.0
 #: Degree-repair acquisition retry budget (arbitration can be busy).
 _REPAIR_ATTEMPTS = 60
+#: Convergence pause between cold-reconcile phases (a few wire round
+#: trips; every reconcile message is on the reliable transport, so this
+#: only needs to cover delivery, not loss).
+_COLD_SETTLE_US = 400.0
 
 
 class RecoveryManager:
@@ -94,6 +101,15 @@ class RecoveryManager:
         self._entries: Dict[ObjectId, Tuple[Ots, ReplicaSet]] = {}
         #: Objects a repair acquisition is already in flight for.
         self._repairing: Set[ObjectId] = set()
+        #: Cold-restart reconcile state: armed flag, objects confirmed
+        #: listed by the converged directory, and reader tail versions
+        #: that arrived before the driver's TAIL did.
+        self._cold_awaiting = False
+        self._listed: Set[ObjectId] = set()
+        self._tail_vers: Dict[ObjectId, Tuple[int, object, bool]] = {}
+        #: Objects replay *floored* (version label kept, data is a
+        #: pre-image) — a real tail at the same version outranks ours.
+        self._floored: Set[ObjectId] = set()
         self._transfer_span = None
         #: Open ``recovery.quarantine`` span: restart → admit view.
         self._quarantine_span = None
@@ -114,6 +130,9 @@ class RecoveryManager:
         node.register_handler(KIND_REPAIR_SCAN, self._on_repair_scan)
         node.register_handler(KIND_FETCH, self._on_fetch)
         node.register_handler(KIND_DATA, self._on_data, cost=0.1)
+        node.register_handler(KIND_TAIL, self._on_tail)
+        node.register_handler(KIND_TAIL_VER, self._on_tail_ver)
+        node.register_handler(KIND_TAIL_DATA, self._on_tail_data)
         node.add_view_listener(self._on_view_change)
 
     # ------------------------------------------------------------- restart
@@ -145,7 +164,44 @@ class RecoveryManager:
                 "recovery.quarantine", pid=self.node_id, cat="recovery",
                 inc=self.node.incarnation)
 
+    def on_cold_restart(self, outage_time_us: float,
+                        floored: Iterable[ObjectId] = ()) -> None:
+        """Arm the post-replay reconcile pass (cold start after power loss).
+
+        Unlike :meth:`on_restart`, the replayed store/directory are *kept*
+        — they are the durable truth the WAL replay just rebuilt.  What
+        remains is cross-node reconciliation: each node's durable tail may
+        be a few commits ahead of or behind its peers' (fsync batching is
+        independent per node), and ownership records that straddled the
+        outage can leave directory shards divergent.  The reconcile runs
+        once the reformed membership view lands.
+
+        ``floored`` names objects whose replay advanced the version counter
+        past an undone write (see ``ReplayStats.floored``): their version
+        label is authoritative but their *data* is a pre-image, so during
+        the tail exchange a real surviving write at the same version wins.
+        """
+        self._crash_time = outage_time_us
+        self._awaiting = False
+        self._cold_awaiting = True
+        self._admitted_at = None
+        self._pending_donors.clear()
+        self._entries.clear()
+        self._repairing.clear()
+        self._listed.clear()
+        self._tail_vers.clear()
+        self._floored = set(floored)
+        if self.tracer:
+            self.tracer.instant("recovery.cold_restart", pid=self.node_id,
+                                cat="recovery", inc=self.node.incarnation)
+
     def _on_view_change(self, epoch: int, live: frozenset) -> None:
+        if self._cold_awaiting and self.node_id in live:
+            self._cold_awaiting = False
+            self._admitted_at = self.sim.now
+            self.counters.inc("cold_restarts")
+            self.node.spawn(self._cold_reconcile(), name="cold-reconcile")
+            return
         if self._awaiting and self.node_id in live:
             # The admit view: membership took us back — start catching up.
             self._awaiting = False
@@ -267,6 +323,11 @@ class RecoveryManager:
             self.node.send(donor, KIND_REPAIR_SCAN, self.node.epoch, 16)
         if span is not None:
             self.tracer.end(span)
+        dur = self.node.durability
+        if dur is not None:
+            # The rejoin rebuilt the volatile state from donors; bring the
+            # disk image up to date without waiting out a snapshot interval.
+            dur.snapshot_soon()
         if self._crash_time is not None:
             self._h_mttr.record(self.sim.now - self._crash_time)
             self._crash_time = None
@@ -403,3 +464,203 @@ class RecoveryManager:
             return
         self.node.spawn(self._acquire_with_retry(oid),
                         name=f"repair-{oid}")
+
+    # ======================================================================
+    # Cold-restart reconcile (full-cluster power loss)
+    # ======================================================================
+    #
+    # Replay restores each node to its own durable prefix; the prefixes
+    # need not agree (per-node group fsync).  Three phases heal the gap:
+    #
+    # 1. **Directory convergence** — every directory host broadcasts its
+    #    replayed shard, and every owner its replica-set view, to the other
+    #    directory hosts; all merge under the usual ``o_ts >=`` guard, so
+    #    all shards converge to the freshest durable ownership state.
+    # 2. **Tail exchange** — per object, the minimum-id directory host
+    #    sends the converged entry to every listed replica; readers report
+    #    their durable (version, value) to the owner, which adopts the max
+    #    and redistributes it.  This settles both divergence directions: a
+    #    coordinator whose commit was undone at replay while a follower
+    #    persisted it, and vice versa.  Adopted tails are re-logged
+    #    (GRANT) so the reconcile itself is durable.
+    # 3. **Stale drop** — objects replayed from an old image but absent
+    #    from the converged directory (the node had been trimmed out of
+    #    the replica set pre-outage) are dropped: they would never receive
+    #    invalidations and would serve stale reads forever.
+
+    def _cold_reconcile(self):
+        span = (self.tracer.begin("recovery.cold_reconcile",
+                                  pid=self.node_id, cat="recovery")
+                if self.tracer else None)
+        preexisting = sorted(obj.oid for obj in self.store)
+        live = self.node.live_nodes
+        sent = 0
+        if self.directory is not None:
+            for oid, entry in sorted(self.directory.items()):
+                for d in self.catalog.directory_nodes_for(oid):
+                    if d != self.node_id and d in live:
+                        self.node.send(d, KIND_DIR_SYNC,
+                                       (oid, entry.o_ts, entry.replicas), 40)
+                        sent += 1
+                        if sent % 16 == 0:
+                            yield 1.0
+        for obj in sorted(self.store, key=lambda o: o.oid):
+            rs = obj.o_replicas
+            if rs is None or rs.owner != self.node_id:
+                continue
+            self._merge_dir_local(obj.oid, obj.o_ts, rs)
+            for d in self.catalog.directory_nodes_for(obj.oid):
+                if d != self.node_id and d in live:
+                    self.node.send(d, KIND_DIR_SYNC, (obj.oid, obj.o_ts, rs),
+                                   40)
+                    sent += 1
+                    if sent % 16 == 0:
+                        yield 1.0
+        yield _COLD_SETTLE_US
+        if self.directory is not None:
+            for oid, entry in sorted(self.directory.items()):
+                hosts = [d for d in self.catalog.directory_nodes_for(oid)
+                         if d in live]
+                if not hosts or min(hosts) != self.node_id:
+                    continue  # exactly one driver per object
+                for nid in sorted(entry.replicas.all_nodes()):
+                    if nid == self.node_id:
+                        self._apply_tail(oid, entry.o_ts, entry.replicas)
+                    else:
+                        self.node.send(nid, KIND_TAIL,
+                                       (oid, entry.o_ts, entry.replicas), 40)
+                    sent += 1
+                    if sent % 16 == 0:
+                        yield 1.0
+        yield _COLD_SETTLE_US
+        for oid in preexisting:
+            if oid not in self._listed and self.store.has(oid):
+                self.store.drop(oid)
+                self.counters.inc("stale_dropped")
+        dur = self.node.durability
+        if dur is not None:
+            # Fold the reconciled state into a fresh disk image promptly.
+            dur.snapshot_soon()
+        if span is not None:
+            self.tracer.end(span, listed=len(self._listed))
+        if self._admitted_at is not None:
+            self._h_catchup.record(self.sim.now - self._admitted_at)
+        if self._crash_time is not None:
+            self._h_mttr.record(self.sim.now - self._crash_time)
+            self._crash_time = None
+        if self.tracer:
+            self.tracer.instant("recovery.cold_complete", pid=self.node_id,
+                                cat="recovery", inc=self.node.incarnation)
+
+    def _merge_dir_local(self, oid: ObjectId, o_ts: Ots,
+                         replicas: ReplicaSet) -> None:
+        """Apply an owner's replica-set view to our own shard (same
+        ``o_ts >=`` guard the DIR_SYNC handler uses for remote views)."""
+        if (self.directory is None
+                or self.node_id not in self.catalog.directory_nodes_for(oid)):
+            return
+        entry = self.directory.get(oid)
+        if entry is None:
+            self.directory.create(oid, replicas, o_ts)
+        elif entry.o_state == OState.VALID and o_ts >= entry.o_ts:
+            entry.o_ts = o_ts
+            entry.replicas = replicas
+
+    def _apply_tail(self, oid: ObjectId, o_ts: Ots,
+                    replicas: ReplicaSet) -> None:
+        self._listed.add(oid)
+        mine = replicas.owner == self.node_id
+        obj = self.store.get(oid)
+        if obj is not None and o_ts >= obj.o_ts:
+            obj.o_ts = o_ts
+            obj.o_replicas = replicas if mine else None
+            obj.o_state = OState.VALID
+        if not mine:
+            # Report our durable tail to the owner (value rides along so
+            # the owner can adopt a newer follower-persisted commit).  The
+            # floored bit says "my version label is a replay floor over a
+            # pre-image" — a real write at the same version beats it.
+            size = (self.catalog.size_of(oid) if obj is not None else 0) + 24
+            self.node.send(replicas.owner, KIND_TAIL_VER,
+                           (oid, obj.t_version if obj is not None else -1,
+                            obj.t_data if obj is not None else None,
+                            oid in self._floored), size)
+            return
+        if obj is None:
+            # Owner lost its copy (image predated the grant); readers'
+            # TAIL_VER replies below carry the value back.
+            obj = self.store.create(oid, None, replicas, o_ts)
+            obj.t_version = -1
+        pend = self._tail_vers.pop(oid, None)
+        if pend is not None:
+            self._adopt_tail(obj, pend[0], pend[1], pend[2])
+
+    def _outranked(self, oid: ObjectId, mine: int, theirs: int,
+                   theirs_floored: bool) -> bool:
+        """True when a reported tail (version, floored-bit) beats ours."""
+        if theirs > mine:
+            return True
+        return (theirs == mine and not theirs_floored
+                and oid in self._floored)
+
+    def _adopt_tail(self, obj, version: int, data,
+                    floored: bool = False) -> None:
+        if not self._outranked(obj.oid, obj.t_version, version, floored):
+            return
+        obj.t_data = data
+        obj.t_version = version
+        obj.t_state = TState.VALID
+        if floored:
+            self._floored.add(obj.oid)
+        else:
+            self._floored.discard(obj.oid)
+        dur = self.node.durability
+        if dur is not None:
+            dur.log_grant(obj.oid, obj.o_ts, obj.o_replicas, version, data,
+                          self.catalog.size_of(obj.oid))
+        self.counters.inc("tail_reconciled")
+
+    def _on_tail(self, msg: Message) -> None:
+        oid, o_ts, replicas = msg.payload
+        self._apply_tail(oid, o_ts, replicas)
+
+    def _on_tail_ver(self, msg: Message) -> None:
+        oid, version, data, flr = msg.payload
+        obj = self.store.get(oid)
+        if obj is None:
+            # The driver's TAIL has not landed here yet; stash the
+            # freshest report and apply it when it does.
+            best = self._tail_vers.get(oid)
+            if best is None or (version > best[0]
+                                or (version == best[0] and best[2]
+                                    and not flr)):
+                self._tail_vers[oid] = (version, data, flr)
+            return
+        if self._outranked(oid, obj.t_version, version, flr):
+            self._adopt_tail(obj, version, data, flr)
+            rs = obj.o_replicas
+            for nid in (sorted(rs.readers) if rs is not None else ()):
+                self.node.send(nid, KIND_TAIL_DATA,
+                               (oid, obj.t_version, obj.t_data, obj.o_ts,
+                                oid in self._floored),
+                               self.catalog.size_of(oid) + 24)
+        elif version < obj.t_version or (version == obj.t_version
+                                         and flr
+                                         and oid not in self._floored):
+            self.node.send(msg.src, KIND_TAIL_DATA,
+                           (oid, obj.t_version, obj.t_data, obj.o_ts,
+                            oid in self._floored),
+                           self.catalog.size_of(oid) + 24)
+
+    def _on_tail_data(self, msg: Message) -> None:
+        oid, version, data, o_ts, flr = msg.payload
+        self._listed.add(oid)
+        obj = self.store.get(oid)
+        if obj is None:
+            obj = self.store.create(oid, data, None, o_ts)
+            obj.t_version = version
+            if flr:
+                self._floored.add(oid)
+            self.counters.inc("tail_reconciled")
+        else:
+            self._adopt_tail(obj, version, data, flr)

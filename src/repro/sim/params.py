@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-__all__ = ["SimParams", "NetParams", "FaultParams"]
+__all__ = ["SimParams", "NetParams", "FaultParams", "DiskParams"]
 
 
 @dataclass(frozen=True)
@@ -60,11 +60,52 @@ class FaultParams:
 
 
 @dataclass(frozen=True)
+class DiskParams:
+    """Per-node durable-storage model (write-ahead log + snapshots).
+
+    Disabled by default: the seed system is the paper's in-memory design,
+    where "durable" means replicated (Section 5.2's early commit ack).
+    Enabling the WAL adds a second durability point — the local disk — whose
+    cost/latency is modelled by the constants below (NVMe-flash-ish
+    defaults: ~10 µs fsync, ~2 GB/s sequential writes).
+    """
+
+    #: Master switch: when False no log is kept and recovery falls back to
+    #: live-donor state transfer only (pre-durability semantics).
+    enabled: bool = False
+    #: Latency of one flush/fsync barrier (µs).
+    fsync_us: float = 10.0
+    #: Sequential write throughput (bytes/µs; 2000 ≈ 2 GB/s).
+    write_bytes_per_us: float = 2000.0
+    #: Fixed per-write positioning/submission overhead (µs).
+    seek_us: float = 1.0
+    #: ``"group"`` batches appends and fsyncs at most once per
+    #: ``group_window_us``; ``"always"`` fsyncs every record immediately.
+    fsync_policy: str = "group"
+    #: Group-commit window: max time a record waits volatile before the
+    #: batched fsync is issued (µs).
+    group_window_us: float = 15.0
+    #: ``"replication"`` acks commits at the paper's replication point
+    #: (disk persistence is asynchronous); ``"persist"`` holds the commit
+    #: ack until the coordinator's COMMIT record is fsynced.
+    ack_policy: str = "replication"
+    #: Interval between crash-consistent snapshots (µs); 0 disables
+    #: snapshotting (the log then grows without truncation).
+    snapshot_interval_us: float = 20_000.0
+    #: Fixed byte overhead per WAL record (header/framing).
+    record_header_bytes: int = 32
+
+    def with_(self, **kwargs) -> "DiskParams":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
 class SimParams:
     """Full performance model for a Zeus deployment."""
 
     net: NetParams = field(default_factory=NetParams)
     faults: FaultParams = field(default_factory=FaultParams)
+    disk: DiskParams = field(default_factory=DiskParams)
 
     #: Application threads per node (paper: up to 10).
     app_threads: int = 10

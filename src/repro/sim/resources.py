@@ -17,7 +17,7 @@ from typing import Deque, List, Optional, Tuple
 from .kernel import Simulator
 from .process import Future
 
-__all__ = ["CpuServer", "CpuPool", "FifoLock"]
+__all__ = ["CpuServer", "CpuPool", "FifoLock", "DiskDevice"]
 
 
 class CpuServer:
@@ -127,6 +127,58 @@ class CpuPool:
         heapq.heappush(self._free_heap, end)
         self.busy_time += cost
         return end
+
+
+class DiskDevice:
+    """A serial storage device (one WAL stream per node).
+
+    Same horizon model as :class:`CpuServer`: writes and flush barriers
+    queue behind each other on a single ``_free_at`` timeline.  ``write``
+    charges positioning plus throughput cost and returns the finish time;
+    ``flush`` charges the fsync barrier and returns the time at which
+    everything written so far is durable.  The device never schedules
+    events itself — callers schedule completion callbacks at the returned
+    times, so an idle disk costs nothing.
+    """
+
+    __slots__ = ("sim", "name", "seek_us", "write_bytes_per_us", "fsync_us",
+                 "_free_at", "busy_time", "bytes_written", "speed_factor")
+
+    def __init__(self, sim: Simulator, seek_us: float,
+                 write_bytes_per_us: float, fsync_us: float,
+                 name: str = "disk"):
+        self.sim = sim
+        self.name = name
+        self.seek_us = seek_us
+        self.write_bytes_per_us = write_bytes_per_us
+        self.fsync_us = fsync_us
+        self._free_at = 0.0
+        self.busy_time = 0.0
+        #: Cost multiplier (>1 = degraded device; chaos gray-failure knob).
+        self.speed_factor = 1.0
+
+    @property
+    def free_at(self) -> float:
+        return self._free_at
+
+    def write(self, nbytes: int) -> float:
+        """Charge a sequential append of ``nbytes``; returns finish time."""
+        cost = (self.seek_us + nbytes / self.write_bytes_per_us) * self.speed_factor
+        start = max(self.sim.now, self._free_at)
+        self._free_at = start + cost
+        self.busy_time += cost
+        return self._free_at
+
+    def flush(self) -> float:
+        """Charge an fsync barrier; returns the durability time."""
+        cost = self.fsync_us * self.speed_factor
+        start = max(self.sim.now, self._free_at)
+        self._free_at = start + cost
+        self.busy_time += cost
+        return self._free_at
+
+    def utilization(self, elapsed: float) -> float:
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
 
 
 class FifoLock:

@@ -332,10 +332,14 @@ class ZeusAPI:
             return False
 
         hist = self.node.obs.history if hop is not None else None
+        dur = self.node.durability
         install_at = self.node.sim.now
         updates = []
+        pre = []
         followers = set()
         for obj in writes:
+            if dur is not None:
+                pre.append((obj.oid, obj.t_version, obj.t_data))
             obj.t_data = compute(obj.oid, obj.t_data)
             obj.t_version += _txn_mod.VERSION_BUMP
             obj.t_state = TState.WRITE
@@ -356,9 +360,13 @@ class ZeusAPI:
             for obj, ver in reads:
                 hist.read(hop, obj.oid, ver, snapshot_at)
         if updates:
-            fut = cm.submit(thread, updates, followers, ctx=ctx)
+            wal_key = (dur.log_redo_coord(thread, updates, pre)
+                       if dur is not None else None)
+            fut = cm.submit(thread, updates, followers, ctx=ctx,
+                            wal_key=wal_key)
             if hist:
                 hist.attach_durability(hop, fut)
+                hist.attach_persistence(hop, cm.last_persist)
         elif hist:
             hist.mark_durable(hop)
         return True

@@ -153,11 +153,15 @@ class Transaction(_TxnBase):
                 self._abort_now(AbortReason.READ_CONFLICT)
 
         updates = []
+        pre = []
         followers: Set[int] = set()
         hop = self.hop
         hist = self.node.obs.history if hop is not None else None
+        dur = self.node.durability
         install_at = self.node.sim.now
         for obj in self._write_set:
+            if dur is not None:
+                pre.append((obj.oid, obj.t_version, obj.t_data))
             obj.t_data = self._private[obj.oid]
             obj.t_version += VERSION_BUMP
             obj.t_state = TState.WRITE
@@ -175,11 +179,17 @@ class Transaction(_TxnBase):
         self._release_locks()
         self._finished = True
         if updates:
+            # The REDO record (with pre-images) is logged *before* the
+            # wait-for-room yield: a snapshot captured while we block must
+            # already hold the undo information for our installed writes.
+            wal_key = (dur.log_redo_coord(self.thread, updates, pre)
+                       if dur is not None else None)
             yield from self.commit_mgr.wait_for_room(self.thread, ctx=self.ctx)
             fut = self.commit_mgr.submit(self.thread, updates, followers,
-                                         ctx=self.ctx)
+                                         ctx=self.ctx, wal_key=wal_key)
             if hist:
                 hist.attach_durability(hop, fut)
+                hist.attach_persistence(hop, self.commit_mgr.last_persist)
         elif hist:
             hist.mark_durable(hop)
         return True

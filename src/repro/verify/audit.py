@@ -34,6 +34,15 @@ history was correct *and* the system recovered:
 A seventh, opt-in audit — **history** — checks the run's client-observable
 transaction history for strict serializability via
 :mod:`repro.verify.history` (enable with ``repro chaos --check-history``).
+
+An eighth — **durability** — runs when the cluster suffered a full power
+loss: every op whose WAL COMMIT record was fsynced (``persisted_at`` set)
+must have each of its writes reflected at the surviving replicas at no
+lower a version — the *no-lost-durable-commit* guarantee the durable
+storage tier makes.  Non-persisted commits may legitimately vanish in a
+full power loss (they were only replication-durable) and are downgraded
+to indeterminate by the history recorder, so the strict-serializability
+check treats them as maybe-committed across the restart.
 """
 
 from __future__ import annotations
@@ -47,7 +56,7 @@ from .invariants import check_invariants, quiescence_problems
 __all__ = ["CommitLedger", "AuditReport", "audit_run",
            "audit_safety", "audit_exactly_once", "audit_epochs",
            "audit_liveness", "audit_rejoin", "audit_degree",
-           "audit_history"]
+           "audit_history", "audit_durability"]
 
 
 class CommitLedger:
@@ -84,16 +93,17 @@ class AuditReport:
     """Outcome of all audits for one run."""
 
     __slots__ = ("safety", "exactly_once", "epoch", "liveness", "rejoin",
-                 "degree", "history")
+                 "degree", "history", "durability")
 
     _NAMES = ("safety", "exactly_once", "epoch", "liveness", "rejoin",
-              "degree", "history")
+              "degree", "history", "durability")
 
     def __init__(self, safety: List[str], exactly_once: List[str],
                  epoch: List[str], liveness: List[str],
                  rejoin: Optional[List[str]] = None,
                  degree: Optional[List[str]] = None,
-                 history: Optional[List[str]] = None):
+                 history: Optional[List[str]] = None,
+                 durability: Optional[List[str]] = None):
         self.safety = safety
         self.exactly_once = exactly_once
         self.epoch = epoch
@@ -101,6 +111,7 @@ class AuditReport:
         self.rejoin = rejoin if rejoin is not None else []
         self.degree = degree if degree is not None else []
         self.history = history if history is not None else []
+        self.durability = durability if durability is not None else []
 
     @property
     def ok(self) -> bool:
@@ -141,6 +152,10 @@ def audit_exactly_once(cluster: ZeusCluster, ledger: CommitLedger,
                        initial_value: int = 0) -> List[str]:
     problems: List[str] = []
     crashed = {nid for _t, nid in cluster.failures.crashed}
+    if cluster.failures.power_losses:
+        # A full power loss may lose any non-persisted commit from *any*
+        # coordinator; the per-op guarantee is the durability audit's job.
+        crashed = {h.node_id for h in cluster.handles}
     live = {h.node_id for h in cluster.handles if h.node.alive}
     # The hard lower bound only counts coordinators that *never* crashed:
     # a recovered node is alive again, but commits it recorded just before
@@ -190,7 +205,10 @@ def audit_epochs(cluster: ZeusCluster) -> List[str]:
             problems.append(
                 f"node {node.node_id}: live set {sorted(node.live_nodes)} "
                 f"!= view {sorted(view.live)}")
-    crashed = {nid for _t, nid in cluster.failures.crashed}
+    # A cold restart revives every node, including earlier crash victims.
+    restarts = cluster.failures.cold_restarts
+    crashed = {nid for t, nid in cluster.failures.crashed
+               if not any(r >= t for r in restarts)}
     recovered = {nid for _t, nid in cluster.failures.recovered}
     stale = (crashed - recovered) & set(view.live)
     if stale:
@@ -285,6 +303,38 @@ def audit_degree(cluster: ZeusCluster) -> List[str]:
     return problems
 
 
+def audit_durability(cluster: ZeusCluster, history) -> List[str]:
+    """No lost durable commits across a full-cluster power loss.
+
+    Every history op whose WAL COMMIT record was fsynced before the
+    lights went out (``persisted_at`` set) must have each of its writes
+    reflected at the surviving replicas at a version no lower than the
+    one it installed — cold-start replay plus tail reconcile are held to
+    exactly what the disk promised.  A higher surviving version is fine:
+    the write took effect and was later overwritten."""
+    if not cluster.failures.power_losses or history is None:
+        return []
+    ops = getattr(history, "ops", history)
+    best: Dict[int, int] = {}
+    for h in cluster.handles:
+        if not h.node.alive:
+            continue
+        for obj in h.store:
+            if obj.t_version > best.get(obj.oid, -1):
+                best[obj.oid] = obj.t_version
+    problems: List[str] = []
+    for op in ops:
+        if not getattr(op, "persisted", False):
+            continue
+        for oid, version, _at in op.writes:
+            if best.get(oid, -1) < version:
+                problems.append(
+                    f"op #{op.op_id} (node {op.node}): durable write "
+                    f"{oid}@v{version} lost — freshest surviving version "
+                    f"is v{best.get(oid, -1)}")
+    return problems
+
+
 def audit_history(history) -> List[str]:
     """Strict-serializability check over a recorded history.
 
@@ -311,4 +361,5 @@ def audit_run(cluster: ZeusCluster, ledger: CommitLedger,
         rejoin=audit_rejoin(cluster),
         degree=audit_degree(cluster),
         history=audit_history(history) if history is not None else [],
+        durability=audit_durability(cluster, history),
     )

@@ -6,6 +6,7 @@ import pytest
 from repro.chaos.schedule import CrashEvent, FaultSchedule, RecoverEvent
 from repro.hermes.protocol import HermesReplica
 from repro.net.message import Message
+from repro.store.meta import Ots
 from repro.verify.audit import audit_degree, audit_rejoin, audit_run, CommitLedger
 from tests.conftest import make_cluster
 
@@ -330,3 +331,58 @@ def test_chaos_run_with_recovery_passes_all_audits():
     # The whole cycle — including rejoin — is deterministic.
     r2 = run_chaos_once(sched, seed=0, cfg=cfg)
     assert r1.digest() == r2.digest()
+
+
+# ======================================================================
+# Donor selection when every listed replica is quarantined
+# ======================================================================
+
+def _listed_oid_for(cluster, node_id):
+    """An object whose replica set includes ``node_id``."""
+    for oid in range(cluster.catalog.num_objects):
+        replicas = cluster.replicas_of(oid)
+        if replicas is not None and node_id in replicas.all_nodes():
+            return oid, replicas
+    raise AssertionError("no object lists the node")
+
+
+def test_refetch_gives_up_cleanly_when_all_listed_replicas_quarantined():
+    """A still-listed node refetching a value finds every other listed
+    replica quarantined: the refetch must give up without messaging the
+    dead (repair_failed), not spin or crash — after a full-cluster outage
+    this is the normal picture, not a corner."""
+    cluster = make_cluster(4, objects=8, fast_failover=True)
+    cluster.start_membership()
+    cluster.run(until=1_000.0)
+    me = 3
+    oid, replicas = _listed_oid_for(cluster, me)
+    others = sorted(n for n in replicas.all_nodes() if n != me)
+    for n in others:
+        cluster.crash(n)
+    cluster.run(until=12_000.0)  # detection: all other replicas evicted
+    h = cluster.handles[me]
+    assert all(n not in h.node.live_nodes for n in others)
+    rec = h.recovery
+    # The post-restart picture: the entry is known, the bytes are gone.
+    obj = h.store.get(oid)
+    rec._entries[oid] = (obj.o_ts if obj is not None else Ots(0, 0), replicas)
+    h.store.drop(oid)
+    failed_before = rec.counters.get("repair_failed", 0)
+    h.node.spawn(rec._refetch_with_retry(oid), name="refetch-test")
+    cluster.run(until=cluster.sim.now + 30_000.0)
+    assert rec.counters.get("repair_failed", 0) == failed_before + 1
+    assert not h.store.has(oid)
+
+
+def test_begin_transfer_without_live_donors_finishes_gracefully():
+    """State transfer with zero live donors (the sole-survivor /
+    everyone-quarantined case) must complete immediately and still run
+    the repair pass, leaving no pending-donor state behind."""
+    cluster = make_cluster(4, objects=8, fast_failover=True)
+    cluster.start_membership()
+    cluster.run(until=1_000.0)
+    rec = cluster.handles[2].recovery
+    rec._begin_transfer(frozenset({2}))
+    assert not rec._pending_donors
+    cluster.run(until=2_000.0)  # the spawned repair pass drains
+    assert rec._transfer_span is None
