@@ -226,6 +226,44 @@ def _run_chaos2(seed: int, scale: float, obs: Observability) -> ScenarioOutcome:
                                       report.digest().encode()).hexdigest()[:16]})
 
 
+# ------------------------------------------------- elastic reconfiguration
+
+_ELASTIC = dict(nodes=4, objects=8, duration_us=14_000.0,
+                quiesce_us=14_000.0, difficulty=3, schedule_seed=100,
+                threads=2, add=2)
+
+
+def _run_elastic(seed: int, scale: float, obs: Observability) -> ScenarioOutcome:
+    from ..chaos.campaign import CampaignConfig, run_chaos_once
+    from ..chaos.generator import generate_elastic_schedule
+
+    cfg = CampaignConfig(num_nodes=_ELASTIC["nodes"],
+                         num_objects=_ELASTIC["objects"],
+                         duration_us=_ELASTIC["duration_us"] * scale,
+                         quiesce_us=_ELASTIC["quiesce_us"] * scale,
+                         app_threads=_ELASTIC["threads"],
+                         difficulty=_ELASTIC["difficulty"],
+                         elastic=True, elastic_add=_ELASTIC["add"])
+    schedule = generate_elastic_schedule(cfg.num_nodes, cfg.duration_us,
+                                         seed=_ELASTIC["schedule_seed"],
+                                         difficulty=cfg.difficulty,
+                                         add_count=cfg.elastic_add)
+    report = run_chaos_once(schedule, seed, cfg, obs=obs)
+    registry = obs.registry
+    return ScenarioOutcome(report.committed, report.aborted,
+                           report.events_executed,
+                           cfg.duration_us + cfg.quiesce_us,
+                           extra={"audit_ok": report.ok,
+                                  "schedule": report.schedule_signature,
+                                  "timeline_events": len(report.timeline),
+                                  "objects_moved": registry.counter_total(
+                                      "rebalance.objects_moved"),
+                                  "drains_completed": registry.counter_total(
+                                      "rebalance.drains_completed"),
+                                  "run_digest": hashlib.sha256(
+                                      report.digest().encode()).hexdigest()[:16]})
+
+
 SCENARIOS: Dict[str, Scenario] = {
     s.name: s for s in [
         Scenario("smallbank",
@@ -240,6 +278,9 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("chaos2",
                  "One audited chaos campaign cell (difficulty 2)",
                  _run_chaos2, dict(_CHAOS)),
+        Scenario("elastic",
+                 "Scale-out + drain under chaos (one audited d3 cell)",
+                 _run_elastic, dict(_ELASTIC)),
     ]
 }
 

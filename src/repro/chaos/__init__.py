@@ -1,42 +1,53 @@
 """Chaos engineering for the simulated Zeus deployment.
 
 Declarative fault schedules (crashes, healing partitions, gray slowdowns,
-burst loss/duplication/reordering windows), a seeded scenario generator,
-an engine that applies a schedule to a :class:`ZeusCluster`, and a
-campaign runner that sweeps workload × schedule × seed grids and audits
-the paper's invariants after every run — see ``python -m repro chaos``.
+burst loss/duplication/reordering windows, live scale-outs and graceful
+drains), a seeded scenario generator, an engine that applies a schedule to
+a :class:`ZeusCluster`, and a campaign runner that sweeps workload ×
+schedule × seed grids and audits the paper's invariants after every run —
+see ``python -m repro chaos``.
 """
 
 from .campaign import (
     CampaignConfig,
     CampaignResult,
     RunReport,
+    campaign_schedule,
     run_campaign,
     run_chaos_once,
 )
 from .engine import ChaosEngine
-from .generator import generate_schedule
+from .generator import ScheduleConfig, generate_elastic_schedule, generate_schedule
 from .schedule import (
+    AddNodesEvent,
     ChaosEventType,
     CrashEvent,
+    DrainEvent,
     FaultSchedule,
     FaultWindowEvent,
     PartitionEvent,
+    RecoverEvent,
     SlowdownEvent,
 )
 
 __all__ = [
     "CrashEvent",
+    "RecoverEvent",
     "PartitionEvent",
     "SlowdownEvent",
     "FaultWindowEvent",
+    "AddNodesEvent",
+    "DrainEvent",
     "ChaosEventType",
     "FaultSchedule",
+    "ScheduleConfig",
     "generate_schedule",
+    "generate_elastic_schedule",
     "ChaosEngine",
     "CampaignConfig",
     "RunReport",
     "CampaignResult",
+    "campaign_schedule",
     "run_chaos_once",
     "run_campaign",
 ]

@@ -27,13 +27,14 @@ from ..obs import HistoryRecorder, MetricsRegistry, Observability
 from ..sim.params import DiskParams, FaultParams, SimParams
 from ..store.catalog import Catalog
 from ..verify.audit import AuditReport, CommitLedger, audit_run
-from ..workloads.base import TxnSpec, run_zeus_workload
+from ..workloads.base import (RunStats, TxnSpec, run_zeus_workload,
+                              spawn_zeus_workers)
 from .engine import ChaosEngine
-from .generator import generate_schedule
+from .generator import generate_elastic_schedule, generate_schedule
 from .schedule import FaultSchedule
 
 __all__ = ["CampaignConfig", "RunReport", "CampaignResult",
-           "run_chaos_once", "run_campaign"]
+           "campaign_schedule", "run_chaos_once", "run_campaign"]
 
 
 @dataclass
@@ -67,6 +68,14 @@ class CampaignConfig:
     disk: DiskParams = field(default_factory=DiskParams)
     #: Post-restart workload window (power-loss mode only).
     restart_wave_us: float = 15_000.0
+    #: Elastic mode: every schedule scales the cluster out mid-run (the
+    #: background rebalancer migrates ownership toward the joiners under
+    #: live traffic) and then either gracefully drains a base node or —
+    #: on alternating schedules, when the durable tier is on — powers the
+    #: whole cluster off mid-rebalance.
+    elastic: bool = False
+    #: How many nodes each elastic schedule adds.
+    elastic_add: int = 2
 
 
 @dataclass
@@ -186,9 +195,23 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
         if not spec.read_only:
             ledger.record(node_id, spec.write_set)
 
-    stats = run_zeus_workload(cluster, spec_fn, duration_us=cfg.duration_us,
-                              threads=cfg.app_threads, seed=seed,
-                              on_commit=on_commit)
+    stats = RunStats()
+    stop_at = cluster.sim.now + cfg.duration_us
+    if schedule.has_elastic:
+        # Joiners carry application load too: spawn a fresh worker set on
+        # each admitted node, feeding the shared stats/ledger, stopping at
+        # the same wall-clock as the original wave.
+        def _on_added(new_ids):
+            spawn_zeus_workers(cluster, spec_fn, stats, stop_at=stop_at,
+                               measure_from=0.0, threads=cfg.app_threads,
+                               node_ids=new_ids, seed=seed + 7777,
+                               on_commit=on_commit)
+
+        cluster.on_nodes_added(_on_added)
+
+    run_zeus_workload(cluster, spec_fn, duration_us=cfg.duration_us,
+                      threads=cfg.app_threads, seed=seed,
+                      on_commit=on_commit, stats=stats)
     if schedule.has_power_loss:
         # The first wave died with the power loss; drive a second wave of
         # traffic against the cold-started cluster (the reformed view and
@@ -200,6 +223,15 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
                                   on_commit=on_commit)
         stats.committed += wave2.committed
         stats.aborted_txns += wave2.aborted_txns
+    if schedule.has_elastic:
+        # Let the rebalancer finish before the audit: converge() resolves
+        # once ownership is balanced across the final membership and every
+        # requested drain has retired its node.  Bounded — a run that
+        # cannot converge falls through to the audit and fails there.
+        done = cluster.rebalancer.converge()
+        deadline = cluster.sim.now + 4 * cfg.quiesce_us
+        while not done.done() and cluster.sim.now < deadline:
+            cluster.run(until=min(cluster.sim.now + 2_000.0, deadline))
     # Drain: retransmissions, probes across healed partitions, failure
     # detection, commit replay and arb-replay all finish in this window.
     cluster.run(until=cluster.sim.now + cfg.quiesce_us)
@@ -216,6 +248,8 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
                  for t, n, f in failures.slowdowns]
     timeline += [f"power_loss(t={t:.0f})" for t in failures.power_losses]
     timeline += [f"cold_restart(t={t:.0f})" for t in failures.cold_restarts]
+    timeline += [f"add(t={t:.0f},n{n})" for t, n in failures.added]
+    timeline += [f"drain(t={t:.0f},n{n})" for t, n in failures.drained]
     timeline.sort(key=lambda s: float(s.split("t=", 1)[1].split(",", 1)[0].rstrip(")")))
     if schedule.has_fault_window:
         timeline.append("loss_burst")
@@ -244,6 +278,37 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
 ProgressFn = Callable[[RunReport], None]
 
 
+def campaign_schedule(cfg: CampaignConfig, index: int) -> FaultSchedule:
+    """The schedule grid cell ``index`` of a campaign under ``cfg``.
+
+    The single source of truth for which timeline each grid slot gets —
+    :func:`run_campaign`, ``--show-schedules``, and the worst-cell trace
+    re-run all derive schedules from here, so they can never disagree.
+    """
+    if cfg.elastic:
+        # Alternate the two exits from a rebalance so one campaign covers
+        # both: drain schedules retire a base node; power-loss schedules
+        # (odd cells, durable tier on) kill the cluster mid-migration and
+        # cold-start it.
+        power = cfg.power_loss or (cfg.disk.enabled and index % 2 == 1)
+        return generate_elastic_schedule(
+            cfg.num_nodes, cfg.duration_us,
+            seed=cfg.schedule_seed_base + index,
+            difficulty=cfg.difficulty,
+            add_count=cfg.elastic_add,
+            power_loss=power,
+        )
+    return generate_schedule(
+        cfg.num_nodes, cfg.duration_us,
+        seed=cfg.schedule_seed_base + index,
+        difficulty=cfg.difficulty,
+        # The first schedule always crashes a node so every campaign
+        # exercises detection + replay, whatever the rng picked.
+        require_crash=(index == 0 and not cfg.power_loss),
+        power_loss=cfg.power_loss,
+    )
+
+
 def run_campaign(cfg: Optional[CampaignConfig] = None,
                  progress: Optional[ProgressFn] = None) -> CampaignResult:
     """Run the full schedule × seed grid and aggregate the audits."""
@@ -261,15 +326,7 @@ def run_campaign(cfg: Optional[CampaignConfig] = None,
     c_committed = registry.counter("chaos.committed")
 
     for i in range(cfg.num_schedules):
-        schedule = generate_schedule(
-            cfg.num_nodes, cfg.duration_us,
-            seed=cfg.schedule_seed_base + i,
-            difficulty=cfg.difficulty,
-            # The first schedule always crashes a node so every campaign
-            # exercises detection + replay, whatever the rng picked.
-            require_crash=(i == 0 and not cfg.power_loss),
-            power_loss=cfg.power_loss,
-        )
+        schedule = campaign_schedule(cfg, i)
         for seed in cfg.seeds:
             report = run_chaos_once(schedule, seed, cfg, obs)
             result.runs.append(report)

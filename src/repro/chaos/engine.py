@@ -15,8 +15,10 @@ from ..harness.zeus_cluster import ZeusCluster
 from ..obs import TID_NET
 from ..sim.params import FaultParams
 from .schedule import (
+    AddNodesEvent,
     ClusterRestartEvent,
     CrashEvent,
+    DrainEvent,
     FaultSchedule,
     FaultWindowEvent,
     PartitionEvent,
@@ -50,9 +52,11 @@ class ChaosEngine:
         for ev in schedule:
             self._c_events.inc()
             if isinstance(ev, CrashEvent):
-                failures.crash_at(cluster.nodes[ev.node], ev.at_us)
+                # Resolve the node lazily: an elastic schedule may crash a
+                # node an earlier AddNodesEvent has yet to create.
+                cluster.sim.call_at(ev.at_us, self._crash_node, ev.node)
             elif isinstance(ev, RecoverEvent):
-                failures.recover_at(cluster.nodes[ev.node], ev.at_us)
+                cluster.sim.call_at(ev.at_us, self._recover_node, ev.node)
             elif isinstance(ev, PartitionEvent):
                 failures.partition_at(ev.a_side, ev.b_side, ev.at_us,
                                       ev.heal_at_us)
@@ -64,9 +68,27 @@ class ChaosEngine:
                 cluster.sim.call_at(ev.at_us, self._open_window, ev.params)
                 cluster.sim.call_at(ev.end_us, self._close_window)
             elif isinstance(ev, ClusterRestartEvent):
-                cluster.power_loss(at=ev.at_us)
+                # Scheduled lazily too: with an elastic scale-out earlier
+                # in the timeline the node list at power-loss time is
+                # longer than at install time.
+                cluster.sim.call_at(ev.at_us, self._power_loss)
                 cluster.sim.call_at(ev.at_us + ev.outage_us,
                                     cluster.cold_restart)
+            elif isinstance(ev, AddNodesEvent):
+                cluster.sim.call_at(ev.at_us, cluster.add_nodes, ev.count)
+            elif isinstance(ev, DrainEvent):
+                cluster.drain(ev.node, at=ev.at_us)
+
+    # ------------------------------------------------- lazy node resolution
+
+    def _crash_node(self, node_id: int) -> None:
+        self.cluster.failures.crash_now(self.cluster.nodes[node_id])
+
+    def _recover_node(self, node_id: int) -> None:
+        self.cluster.failures.recover_now(self.cluster.nodes[node_id])
+
+    def _power_loss(self) -> None:
+        self.cluster.failures.power_loss(self.cluster.nodes)
 
     # -------------------------------------------------------- fault windows
 

@@ -22,13 +22,16 @@ lease) and the recovery protocols to finish before the audit runs.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..sim.params import FaultParams
 from .schedule import (
+    AddNodesEvent,
     ChaosEventType,
     ClusterRestartEvent,
     CrashEvent,
+    DrainEvent,
     FaultSchedule,
     FaultWindowEvent,
     PartitionEvent,
@@ -36,7 +39,23 @@ from .schedule import (
     SlowdownEvent,
 )
 
-__all__ = ["generate_schedule"]
+__all__ = ["ScheduleConfig", "generate_schedule", "generate_elastic_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """Tunable shape knobs for :func:`generate_schedule`.
+
+    The defaults reproduce the generator's historical behaviour exactly —
+    a schedule generated with ``ScheduleConfig()`` is byte-identical to
+    one generated without a config for every (seed, difficulty, shape).
+    """
+
+    #: Fraction-of-horizon window the paired recovery is drawn from.
+    recover_window: Tuple[float, float] = (0.72, 0.85)
+    #: Whether a difficulty>=2 crash gets a paired recovery at all
+    #: (``allow_recovery=False`` at call time still wins).
+    pair_recovery: bool = True
 
 
 def _split(rng: random.Random, nodes: List[int]):
@@ -53,7 +72,8 @@ def generate_schedule(num_nodes: int, horizon_us: float, seed: int,
                       require_crash: bool = False,
                       allow_recovery: bool = True,
                       power_loss: bool = False,
-                      name: Optional[str] = None) -> FaultSchedule:
+                      name: Optional[str] = None,
+                      config: Optional[ScheduleConfig] = None) -> FaultSchedule:
     """Produce a validated, deterministic schedule for one run.
 
     ``power_loss=True`` switches to the durability scenario: a single
@@ -65,6 +85,7 @@ def generate_schedule(num_nodes: int, horizon_us: float, seed: int,
     restart revives every node anyway."""
     if not 1 <= difficulty <= 3:
         raise ValueError(f"difficulty must be 1..3, got {difficulty}")
+    config = config if config is not None else ScheduleConfig()
     rng = random.Random(f"chaos-schedule/{seed}/{difficulty}/{num_nodes}")
     nodes = list(range(num_nodes))
     events: List[ChaosEventType] = []
@@ -137,15 +158,103 @@ def generate_schedule(num_nodes: int, horizon_us: float, seed: int,
         victim = rng.choice(nodes)
         events.append(CrashEvent(at_us=horizon_us * rng.uniform(0.10, 0.40),
                                  node=victim))
-        if difficulty >= 2 and allow_recovery:
+        if difficulty >= 2 and allow_recovery and config.pair_recovery:
             # Crash→recover pair: the node reboots after every partition
             # has healed (by 70%), exercising re-admission, state transfer
             # and degree repair in the remaining tail + quiesce window.
             # Drawn *after* the crash draw so difficulty-1 streams (and
             # crash placement at any difficulty) are unchanged per seed.
+            lo, hi = config.recover_window
             events.append(RecoverEvent(
-                at_us=horizon_us * rng.uniform(0.72, 0.85), node=victim))
+                at_us=horizon_us * rng.uniform(lo, hi), node=victim))
 
     schedule = FaultSchedule(events, name=name or f"gen-s{seed}-d{difficulty}")
+    schedule.validate(num_nodes, horizon_us)
+    return schedule
+
+
+def generate_elastic_schedule(num_nodes: int, horizon_us: float, seed: int,
+                              difficulty: int = 2,
+                              add_count: int = 2,
+                              power_loss: bool = False,
+                              name: Optional[str] = None,
+                              config: Optional[ScheduleConfig] = None,
+                              ) -> FaultSchedule:
+    """A reconfiguration-under-fire timeline: scale-out, then adversity.
+
+    Every schedule begins with an :class:`AddNodesEvent` in the first
+    quarter of the horizon, so the rebalancer's migration runs while the
+    rest of the adversity lands on top of it:
+
+    * difficulty 1 — scale-out plus a graceful drain, no faults;
+    * difficulty 2 — additionally crashes the first joiner mid-rebalance
+      (paired recovery late in the horizon) and opens a burst-loss window
+      around the admission;
+    * difficulty 3 — additionally partitions the drain target just after
+      its drain begins, healing in time for the drain to finish.
+
+    ``power_loss=True`` replaces the drain with a full-cluster power loss
+    mid-rebalance (drain + cold restart in one schedule is ambiguous —
+    see :meth:`FaultSchedule.validate`).
+
+    Uses its own rng stream (``.../elastic``), so adding this generator
+    changes no existing schedule.
+    """
+    if not 1 <= difficulty <= 3:
+        raise ValueError(f"difficulty must be 1..3, got {difficulty}")
+    if num_nodes < 4:
+        raise ValueError("elastic schedules need >= 4 base nodes (3 frozen "
+                         "directory hosts + a drainable node)")
+    config = config if config is not None else ScheduleConfig()
+    rng = random.Random(
+        f"chaos-schedule/{seed}/{difficulty}/{num_nodes}/elastic")
+    events: List[ChaosEventType] = []
+
+    add_at = horizon_us * rng.uniform(0.15, 0.25)
+    events.append(AddNodesEvent(at_us=add_at, count=add_count))
+    joiner = num_nodes  # first fresh id
+
+    if difficulty >= 2:
+        events.append(FaultWindowEvent(
+            at_us=add_at - horizon_us * 0.05,
+            end_us=add_at + horizon_us * 0.05,
+            params=FaultParams(
+                loss_prob=0.02 * difficulty,
+                duplicate_prob=0.01 * difficulty,
+                reorder_max_us=4.0,
+                reorder_prob=0.5,
+            )))
+        # Crash the joining node while the rebalancer is still feeding it.
+        crash_at = add_at + horizon_us * rng.uniform(0.03, 0.08)
+        events.append(CrashEvent(at_us=crash_at, node=joiner))
+        if not power_loss:
+            # With a power loss the cold restart revives the joiner; a
+            # paired RecoverEvent after it would be invalid.
+            lo, hi = config.recover_window
+            events.append(RecoverEvent(
+                at_us=horizon_us * rng.uniform(lo, hi), node=joiner))
+
+    if power_loss:
+        # Power loss mid-rebalance instead of a drain: the whole cluster
+        # dies while ownership is mid-flight toward the joiners.
+        events.append(ClusterRestartEvent(
+            at_us=horizon_us * rng.uniform(0.35, 0.45),
+            outage_us=horizon_us * rng.uniform(0.04, 0.08)))
+    else:
+        drain_node = num_nodes - 1  # highest base id: never a dir host
+        drain_at = horizon_us * rng.uniform(0.42, 0.50)
+        events.append(DrainEvent(at_us=drain_at, node=drain_node))
+        if difficulty >= 3:
+            # Partition the drain target right after its drain begins; the
+            # drain stalls until the heal, then must still finish.
+            cut = drain_at + horizon_us * rng.uniform(0.01, 0.03)
+            others = tuple(n for n in range(num_nodes) if n != drain_node)
+            events.append(PartitionEvent(
+                at_us=cut, a_side=(drain_node,), b_side=others,
+                heal_at_us=cut + horizon_us * rng.uniform(0.08, 0.12)))
+
+    mode = "power" if power_loss else "drain"
+    schedule = FaultSchedule(
+        events, name=name or f"elastic-{mode}-s{seed}-d{difficulty}")
     schedule.validate(num_nodes, horizon_us)
     return schedule

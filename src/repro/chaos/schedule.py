@@ -21,7 +21,13 @@ clock, covering the full fault model Zeus claims to survive (Sections 3.1,
   and cold-start it after an outage: the durability tier's end-to-end
   test (WAL replay, snapshot restore, membership reform, tail
   reconcile).  Without the durability tier enabled the cluster comes
-  back empty — the paper's in-memory semantics.
+  back empty — the paper's in-memory semantics;
+* :class:`AddNodesEvent` — live scale-out: boot fresh nodes through the
+  quarantine/admission path mid-run; the background rebalancer then
+  migrates ownership toward them (planned reconfiguration, not a fault —
+  but chaos during it is exactly what the elastic schedules inject);
+* :class:`DrainEvent` — graceful removal: migrate every duty off a node,
+  wait out its in-flight work, halt and retire it under an epoch bump.
 
 Schedules are plain data: they can be generated (see
 :mod:`repro.chaos.generator`), hand-written in tests, printed, and hashed
@@ -36,8 +42,8 @@ from typing import Optional, Tuple, Union
 from ..sim.params import FaultParams
 
 __all__ = ["CrashEvent", "RecoverEvent", "PartitionEvent", "SlowdownEvent",
-           "FaultWindowEvent", "ClusterRestartEvent", "FaultSchedule",
-           "ChaosEventType"]
+           "FaultWindowEvent", "ClusterRestartEvent", "AddNodesEvent",
+           "DrainEvent", "FaultSchedule", "ChaosEventType"]
 
 
 @dataclass(frozen=True)
@@ -113,8 +119,27 @@ class ClusterRestartEvent:
                 f"t={self.at_us + self.outage_us:.0f}us")
 
 
+@dataclass(frozen=True)
+class AddNodesEvent:
+    at_us: float
+    count: int = 1
+
+    def describe(self) -> str:
+        return f"t={self.at_us:.0f}us add {self.count} node(s)"
+
+
+@dataclass(frozen=True)
+class DrainEvent:
+    at_us: float
+    node: int
+
+    def describe(self) -> str:
+        return f"t={self.at_us:.0f}us drain node {self.node}"
+
+
 ChaosEventType = Union[CrashEvent, RecoverEvent, PartitionEvent,
-                       SlowdownEvent, FaultWindowEvent, ClusterRestartEvent]
+                       SlowdownEvent, FaultWindowEvent, ClusterRestartEvent,
+                       AddNodesEvent, DrainEvent]
 
 
 class FaultSchedule:
@@ -136,21 +161,35 @@ class FaultSchedule:
     # ----------------------------------------------------------- validation
 
     def validate(self, num_nodes: int, horizon_us: Optional[float] = None) -> None:
-        """Raise ``ValueError`` on an impossible schedule."""
+        """Raise ``ValueError`` on an impossible schedule.
+
+        ``num_nodes`` is the cluster size at install time; events may
+        reference higher node ids only after an :class:`AddNodesEvent` has
+        grown the id space (events are time-ordered, so the check walks the
+        timeline with a running node count).
+        """
         windows = []
         crashed_at: dict = {}
+        drained: set = set()
+        avail = num_nodes
+        has_restart = any(isinstance(e, ClusterRestartEvent)
+                          for e in self.events)
         for ev in self.events:
             if ev.at_us < 0:
                 raise ValueError(f"event before t=0: {ev.describe()}")
             if horizon_us is not None and ev.at_us > horizon_us:
                 raise ValueError(f"event past horizon: {ev.describe()}")
             if isinstance(ev, CrashEvent):
-                if not 0 <= ev.node < num_nodes:
+                if not 0 <= ev.node < avail:
                     raise ValueError(f"bad node in {ev.describe()}")
-                crashed_at[ev.node] = ev.at_us
+                if ev.node not in drained:
+                    crashed_at[ev.node] = ev.at_us
             elif isinstance(ev, RecoverEvent):
-                if not 0 <= ev.node < num_nodes:
+                if not 0 <= ev.node < avail:
                     raise ValueError(f"bad node in {ev.describe()}")
+                if ev.node in drained:
+                    raise ValueError(
+                        f"recovery of a retired node: {ev.describe()}")
                 when = crashed_at.pop(ev.node, None)
                 if when is None or ev.at_us <= when:
                     raise ValueError(
@@ -161,12 +200,12 @@ class FaultSchedule:
                     raise ValueError(f"empty side in {ev.describe()}")
                 if set(ev.a_side) & set(ev.b_side):
                     raise ValueError(f"overlapping sides in {ev.describe()}")
-                if any(not 0 <= n < num_nodes for n in nodes):
+                if any(not 0 <= n < avail for n in nodes):
                     raise ValueError(f"bad node in {ev.describe()}")
                 if ev.heal_at_us is not None and ev.heal_at_us <= ev.at_us:
                     raise ValueError(f"heal before cut in {ev.describe()}")
             elif isinstance(ev, SlowdownEvent):
-                if not 0 <= ev.node < num_nodes:
+                if not 0 <= ev.node < avail:
                     raise ValueError(f"bad node in {ev.describe()}")
                 if ev.factor <= 0:
                     raise ValueError(f"bad factor in {ev.describe()}")
@@ -183,6 +222,26 @@ class FaultSchedule:
                 # earlier CrashEvent took down; a later RecoverEvent for
                 # them would be a no-op, and a later crash is fresh.
                 crashed_at.clear()
+            elif isinstance(ev, AddNodesEvent):
+                if ev.count < 1:
+                    raise ValueError(f"non-positive count in {ev.describe()}")
+                avail += ev.count
+            elif isinstance(ev, DrainEvent):
+                if not 0 <= ev.node < avail:
+                    raise ValueError(f"bad node in {ev.describe()}")
+                if ev.node < min(3, num_nodes):
+                    raise ValueError(
+                        f"drain of a directory host: {ev.describe()}")
+                if ev.node in drained:
+                    raise ValueError(f"double drain: {ev.describe()}")
+                if has_restart:
+                    # A drain's completion time is not known statically, so
+                    # whether the retired node should survive the restart is
+                    # ambiguous — keep the two modes apart.
+                    raise ValueError(
+                        "drain and cluster restart in one schedule: "
+                        f"{ev.describe()}")
+                drained.add(ev.node)
         windows.sort()
         for (s1, e1), (s2, _e2) in zip(windows, windows[1:]):
             if s2 < e1:
@@ -220,6 +279,20 @@ class FaultSchedule:
     @property
     def has_power_loss(self) -> bool:
         return any(isinstance(e, ClusterRestartEvent) for e in self.events)
+
+    @property
+    def has_elastic(self) -> bool:
+        return any(isinstance(e, (AddNodesEvent, DrainEvent))
+                   for e in self.events)
+
+    @property
+    def added_count(self) -> int:
+        return sum(e.count for e in self.events
+                   if isinstance(e, AddNodesEvent))
+
+    @property
+    def drain_nodes(self) -> Tuple[int, ...]:
+        return tuple(e.node for e in self.events if isinstance(e, DrainEvent))
 
     def describe(self) -> str:
         if not self.events:

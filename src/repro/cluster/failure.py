@@ -47,8 +47,15 @@ class FailureInjector:
         self._c_slowdowns = registry.counter("faults.slowdowns")
         self._c_recoveries = registry.counter("faults.recoveries")
         self._c_power_losses = registry.counter("faults.power_losses")
+        self._c_drains = registry.counter("faults.drains")
+        self._c_node_adds = registry.counter("faults.node_adds")
         self.crashed: List[Tuple[float, int]] = []
         self.recovered: List[Tuple[float, int]] = []
+        #: Planned membership changes (elastic reconfiguration), kept apart
+        #: from ``crashed`` so the audits can hold graceful drains to a
+        #: stricter standard than crash-stops.
+        self.drained: List[Tuple[float, int]] = []
+        self.added: List[Tuple[float, int]] = []
         #: Instants the whole cluster lost power / completed a cold restart.
         self.power_losses: List[float] = []
         self.cold_restarts: List[float] = []
@@ -96,6 +103,39 @@ class FailureInjector:
             if tracer:
                 tracer.instant("chaos.crash", pid=node.node_id, tid=TID_NET,
                                cat="chaos")
+
+    # -------------------------------------------------------------- elastic
+
+    def drain_now(self, node: Node) -> None:
+        """Graceful stop of a drained node (the planned dual of a crash).
+
+        The process halt is mechanically the same as a crash-stop — the
+        node's generators die and its transport detaches — but it is
+        recorded separately: a drain happens only after the rebalancer has
+        moved the node's duties away, so the audits may demand that *no*
+        commit it coordinated is lost, with none of the crash slack."""
+        if node.alive:
+            node.crash()
+            dur = node.durability
+            if dur is not None:
+                dur.power_fail()
+            self.drained.append((self.sim.now, node.node_id))
+            self._c_drains.inc()
+            tracer = self.obs.tracer
+            if tracer:
+                tracer.instant("chaos.drain", pid=node.node_id, tid=TID_NET,
+                               cat="chaos")
+
+    def note_added(self, node_ids: Sequence[int]) -> None:
+        """Record a live scale-out (for timelines and the reconfig audit)."""
+        now = self.sim.now
+        for nid in node_ids:
+            self.added.append((now, nid))
+            self._c_node_adds.inc()
+        tracer = self.obs.tracer
+        if tracer:
+            tracer.instant("chaos.add_nodes", pid=min(node_ids), tid=TID_NET,
+                           cat="chaos", nodes=list(node_ids))
 
     # ----------------------------------------------------------- power loss
 

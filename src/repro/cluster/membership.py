@@ -167,6 +167,50 @@ class MembershipService:
         node.spawn(self._heartbeat_loop(node), name="heartbeat")
         self._install(frozenset(self.view.live | {node_id}))
 
+    # ----------------------------------------------------------- elasticity
+
+    def register(self, node: Node) -> None:
+        """Register a freshly booted node (live scale-out) with the
+        service.  The node is known but not yet a member — it joins no
+        view until :meth:`join` installs one."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"node {node.node_id} is already registered")
+        self.nodes[node.node_id] = node
+        self._last_heartbeat[node.node_id] = self.sim.now
+
+    def join(self, node_id: NodeId) -> None:
+        """Admit a brand-new node with an epoch bump.
+
+        Unlike :meth:`admit` there is no lease dance: a node that never
+        held a lease has no dead incarnation anyone could confuse with
+        the new one, so the view may install immediately.  The joiner
+        stays quarantined (``joining``) until the install reaches it."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            raise RuntimeError(f"node {node_id} is not booted; cannot join")
+        if node_id in self.view.live:
+            return
+        self._admit_now(node_id)
+
+    def retire(self, node_id: NodeId) -> None:
+        """Remove a *drained* node with an epoch bump.
+
+        The caller guarantees the node has been cleanly stopped after its
+        duties were moved away — the fence here is proof-of-stop rather
+        than lease expiry: a provably halted node cannot act on the old
+        view, which is the only thing the lease wait buys for a crash.
+        The node is deregistered entirely so a later :meth:`reform`
+        (cold restart) re-forms the cluster without it."""
+        node = self.nodes.get(node_id)
+        if node is not None and node.alive:
+            raise RuntimeError(
+                f"node {node_id} is still running; stop it before retiring")
+        self.nodes.pop(node_id, None)
+        self._last_heartbeat.pop(node_id, None)
+        self._suspected.pop(node_id, None)
+        if node_id in self.view.live:
+            self._install(frozenset(self.view.live - {node_id}))
+
     # ---------------------------------------------------------- cold restart
 
     def reform(self, epoch_floor: int = 0,

@@ -257,6 +257,16 @@ class Node:
         self.network.set_down(self.node_id, False)
         self.counters.inc("restarts")
 
+    def begin_join(self) -> None:
+        """Quarantine a freshly built node (live scale-out) until admitted.
+
+        A joiner must not engage in the protocols before its join view
+        installs: a peer could otherwise observe it mid-handshake under an
+        epoch that does not list it.  Reuses the reboot quarantine — the
+        first view install lifts it (:meth:`on_view_change` clears
+        ``joining``)."""
+        self.joining = True
+
     def set_slowdown(self, factor: float) -> None:
         """Gray failure: multiply every CPU cost on this node by ``factor``
         (1.0 restores full speed).  The node stays alive and correct — just

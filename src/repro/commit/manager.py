@@ -555,6 +555,18 @@ class CommitManager:
                 for f in sorted(slot.needed - slot.acked):
                     self.node.send(f, KIND_RINV, inv, inv.size)
             self._try_validate(pipe, pipeline_id)
+            # Re-announce the validated high-water mark.  A cumulative VAL
+            # in flight across the epoch bump is delivered stamped with the
+            # old epoch and discarded by the receiver, and nothing per-slot
+            # ever repeats it: a follower waiting on that VAL to bridge a
+            # gap in its slot sequence (it was not a follower of the gap
+            # slots) would otherwise buffer the pipeline's head forever —
+            # and a wedged head keeps ``has_pending`` true, vetoing every
+            # ownership migration of the affected objects.
+            if pipe.validated_upto >= 0:
+                for f in sorted(live):
+                    self._queue_val(f, pipeline_id, pipe.validated_upto,
+                                    cumulative=True)
 
         # 2. Follower: discard buffered-but-unapplied R-INVs from dead
         #    coordinators; replay applied-but-unvalidated ones.

@@ -9,6 +9,7 @@ the dispatch table cannot drift from the parser:
 * ``python -m repro quickstart``            — the README tour
 * ``python -m repro verify [--seeds N]``    — model checkers + explorer
 * ``python -m repro chaos [--seeds N]``     — chaos campaign + audits
+* ``python -m repro elastic [--add K]``     — live scale-out + recovery report
 * ``python -m repro check [--seeds N]``     — strict-serializability check
 * ``python -m repro locality``              — the §8 locality analyses
 * ``python -m repro smallbank [--remote F]``— one Zeus-vs-baseline point
@@ -72,7 +73,7 @@ def _cmd_chaos(args) -> int:
     """Run a schedule × seed chaos campaign and audit every run."""
     from ..chaos import (
         CampaignConfig,
-        generate_schedule,
+        campaign_schedule,
         run_campaign,
         run_chaos_once,
     )
@@ -80,7 +81,9 @@ def _cmd_chaos(args) -> int:
     from ..sim.params import DiskParams
 
     power_loss = args.power_loss
-    wal = args.wal or power_loss
+    # --elastic implies the durable tier so the campaign's odd cells can
+    # exercise the power-loss-mid-rebalance exit, not just drains.
+    wal = args.wal or power_loss or args.elastic
     cfg = CampaignConfig(
         num_nodes=args.nodes,
         num_objects=args.objects,
@@ -94,25 +97,18 @@ def _cmd_chaos(args) -> int:
         power_loss=power_loss,
         disk=DiskParams(enabled=wal, fsync_policy=args.fsync,
                         ack_policy=args.ack),
+        elastic=args.elastic,
+        elastic_add=args.add,
     )
 
     if args.show_schedules:
         for i in range(cfg.num_schedules):
-            schedule = generate_schedule(
-                cfg.num_nodes, cfg.duration_us,
-                seed=cfg.schedule_seed_base + i,
-                difficulty=cfg.difficulty,
-                require_crash=(i == 0 and not power_loss),
-                power_loss=power_loss)
-            print(schedule.describe())
+            print(campaign_schedule(cfg, i).describe())
         return 0
 
     if args.trace:
         # Trace the first grid cell (fault instants included) on the side.
-        schedule = generate_schedule(
-            cfg.num_nodes, cfg.duration_us, seed=cfg.schedule_seed_base,
-            difficulty=cfg.difficulty, require_crash=not power_loss,
-            power_loss=power_loss)
+        schedule = campaign_schedule(cfg, 0)
         obs = Observability(tracer=Tracer())
         run_chaos_once(schedule, cfg.seeds[0], cfg, obs=obs)
         write_chrome_trace(obs.tracer, args.trace)
@@ -138,6 +134,158 @@ def _cmd_chaos(args) -> int:
         _dump_worst_chaos_trace(cfg, result, args.trace_out)
     print("verdict         :", "OK" if result.ok else "FAILED")
     return 0 if result.ok else 1
+
+
+def _cmd_elastic(args) -> int:
+    """Live scale-out: N -> N+k under load, throughput-recovery report.
+
+    Runs a steady-state window on the base cluster, then calls
+    ``add_nodes`` mid-traffic and keeps sampling windowed throughput while
+    the joiners are quarantined, admitted, and fed by the rebalancer.
+    Exit 0 requires every post-run audit to pass *and* throughput to
+    recover to within 10% of the pre-scale-out steady state.
+    """
+    from ..hermes.protocol import HermesReplica
+    from ..lb import LoadBalancer
+    from ..obs import Observability, write_metrics
+    from ..sim.params import DiskParams, SimParams
+    from ..store.catalog import Catalog
+    from ..verify.audit import CommitLedger, audit_run
+    from ..workloads.base import RunStats, TxnSpec, spawn_zeus_workers
+    from .zeus_cluster import ZeusCluster
+
+    obs = Observability()
+    catalog = Catalog(args.nodes, replication_degree=min(3, args.nodes))
+    catalog.add_table("counter", 64)
+    for i in range(args.objects):
+        catalog.create_object("counter", i, owner=i % args.nodes)
+    params = SimParams(
+        lease_us=1_500.0, heartbeat_us=150.0,
+        disk=DiskParams(enabled=args.wal),
+    ).scaled_threads(app=args.threads, worker=args.threads)
+    cluster = ZeusCluster(args.nodes, params=params, catalog=catalog,
+                          seed=args.seed, obs=obs)
+    cluster.load(init_value=0)
+    cluster.start_membership()
+
+    ledger = CommitLedger()
+    num_objects = args.objects
+
+    # The paper's request path: the LB pins each key to a serving node and
+    # workers access the keys routed to *their* node (plus a small remote
+    # fraction), so Zeus's locality protocol keeps objects where they are
+    # used.  On scale-out the LB shifts a fair share of keys onto the
+    # joiners and ownership follows the new access points.
+    replicas = [HermesReplica(cluster.nodes[n], (0, 1, 2)) for n in range(3)]
+    lb = LoadBalancer(replicas, num_nodes=args.nodes,
+                      rng=cluster.rng.stream("lb"))
+    for i in range(num_objects):
+        lb.repin(i, i % args.nodes)  # match the catalog's initial owners
+    keys_of = {}
+
+    def _refresh_routing() -> None:
+        keys_of.clear()
+        for i in range(num_objects):
+            keys_of.setdefault(lb.lookup(i), []).append(i)
+
+    _refresh_routing()
+
+    def spec_fn(node_id: int, thread: int, rng) -> TxnSpec:
+        local = keys_of.get(node_id)
+        if local and rng.random() >= args.remote:
+            oids = [rng.choice(local)]
+            if len(local) > 1 and rng.random() < 0.5:
+                other = rng.choice(local)
+                if other != oids[0]:
+                    oids.append(other)
+        else:
+            oids = rng.sample(range(num_objects), rng.randrange(1, 3))
+        if rng.random() < 0.2:
+            return TxnSpec(read_set=oids, read_only=True, exec_us=0.3)
+        return TxnSpec(write_set=oids, exec_us=0.3)
+
+    def on_commit(node_id: int, spec: TxnSpec, _result) -> None:
+        if not spec.read_only:
+            ledger.record(node_id, spec.write_set)
+
+    add_at = args.steady
+    stop_at = add_at + args.after
+    stats = RunStats()
+    spawn_zeus_workers(cluster, spec_fn, stats, stop_at=stop_at,
+                       measure_from=0.0, threads=args.threads,
+                       node_ids=list(range(args.nodes)), seed=args.seed,
+                       on_commit=on_commit)
+
+    def _on_added(new_ids) -> None:
+        lb.grow(new_ids, keys=range(num_objects))
+        _refresh_routing()
+        spawn_zeus_workers(cluster, spec_fn, stats, stop_at=stop_at,
+                           measure_from=0.0, threads=args.threads,
+                           node_ids=new_ids, seed=args.seed + 7777,
+                           on_commit=on_commit)
+
+    cluster.on_nodes_added(_on_added)
+    cluster.sim.call_at(add_at, cluster.add_nodes, args.add)
+
+    window = args.window
+    samples = []  # (window_end_us, committed_in_window)
+    last = 0
+    t = 0.0
+    while t < stop_at:
+        t = min(t + window, stop_at)
+        cluster.run(until=t)
+        samples.append((t, stats.committed - last))
+        last = stats.committed
+
+    # Steady state = mean of the back half of the pre-scale-out windows
+    # (the front half is cache/lease warmup).
+    pre = [c for end, c in samples if add_at / 2 < end <= add_at]
+    steady = sum(pre) / max(1, len(pre))
+    recovered_at = None
+    for end, c in samples:
+        if end > add_at and c >= 0.9 * steady:
+            recovered_at = end
+            break
+    tail = [c for end, c in samples[-3:]]
+    final = sum(tail) / max(1, len(tail))
+
+    # Settle: let the rebalancer converge, drain in-flight work, audit.
+    done = cluster.rebalancer.converge()
+    deadline = cluster.sim.now + 4 * args.quiesce
+    while not done.done() and cluster.sim.now < deadline:
+        cluster.run(until=min(cluster.sim.now + 2_000.0, deadline))
+    cluster.run(until=cluster.sim.now + args.quiesce)
+    audit = audit_run(cluster, ledger, initial_value=0)
+
+    reg = obs.registry
+    tps = lambda c: c / (window / 1e6)  # noqa: E731
+    print(f"elastic scale-out: {args.nodes} -> {args.nodes + args.add} "
+          f"nodes at t={add_at:.0f}us ({stats.committed} txns committed)")
+    print(f"  steady state : {tps(steady):>12,.0f} tps "
+          f"(mean of {len(pre)} windows before the add)")
+    if recovered_at is not None:
+        print(f"  recovered    : t={recovered_at:.0f}us "
+              f"(+{recovered_at - add_at:.0f}us after the add, first "
+              f"window back above 90% of steady)")
+    else:
+        print("  recovered    : NEVER (no post-add window reached 90% "
+              "of steady)")
+    print(f"  final        : {tps(final):>12,.0f} tps "
+          f"({final / steady:.0%} of steady, last 3 windows)")
+    print(f"  rebalancer   : "
+          f"{reg.counter_total('rebalance.objects_moved')} objects moved, "
+          f"{reg.counter_total('rebalance.bytes')} bytes, "
+          f"{reg.counter_total('rebalance.inflight_aborts')} in-flight "
+          f"aborts, converged={done.done()}")
+    for audit_name, problem in audit.problems():
+        print(f"  AUDIT [{audit_name}]: {problem}")
+    if args.metrics_out:
+        write_metrics(reg, args.metrics_out)
+        print(f"  wrote metrics: {args.metrics_out}")
+    ok = (audit.ok and done.done() and recovered_at is not None
+          and final >= 0.9 * steady)
+    print("verdict      :", "OK" if ok else "FAILED")
+    return 0 if ok else 1
 
 
 def _cmd_check(args) -> int:
@@ -187,7 +335,7 @@ def _dump_worst_chaos_trace(cfg, result, path: str) -> None:
     reproduces the original cell exactly — the trace is a faithful
     post-mortem of the run the campaign actually audited.
     """
-    from ..chaos import generate_schedule, run_chaos_once
+    from ..chaos import campaign_schedule, run_chaos_once
     from ..obs import Observability, Tracer, write_trace_jsonl
 
     worst = max(
@@ -195,9 +343,7 @@ def _dump_worst_chaos_trace(cfg, result, path: str) -> None:
         key=lambda r: (0 if r.ok else 1, len(r.audit.problems()), r.aborted))
     schedules = {}
     for i in range(cfg.num_schedules):
-        schedule = generate_schedule(
-            cfg.num_nodes, cfg.duration_us, seed=cfg.schedule_seed_base + i,
-            difficulty=cfg.difficulty, require_crash=(i == 0))
+        schedule = campaign_schedule(cfg, i)
         schedules[schedule.name] = schedule
     obs = Observability(tracer=Tracer())
     run_chaos_once(schedules[worst.schedule_name], worst.seed, cfg, obs=obs)
@@ -479,6 +625,13 @@ def _args_chaos(p: argparse.ArgumentParser) -> None:
                    help="durability campaign: every schedule powers off the "
                         "whole cluster mid-run and cold-starts it "
                         "(implies --wal)")
+    p.add_argument("--elastic", action="store_true",
+                   help="reconfiguration campaign: every schedule scales the "
+                        "cluster out mid-run, then drains a node or powers "
+                        "the cluster off mid-rebalance (implies --wal)")
+    p.add_argument("--add", type=int, default=2,
+                   help="nodes each elastic schedule adds "
+                        "(default %(default)s)")
     p.add_argument("--wal", action="store_true",
                    help="enable the per-node write-ahead log + snapshots")
     p.add_argument("--fsync", choices=("group", "always"), default="group",
@@ -495,6 +648,37 @@ def _args_chaos(p: argparse.ArgumentParser) -> None:
                    dest="trace_out",
                    help="re-run the worst-audit cell traced and dump its "
                         "spans as JSONL (for `repro analyze`)")
+
+
+def _args_elastic(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--nodes", type=int, default=4,
+                   help="base cluster size (default %(default)s)")
+    p.add_argument("--add", type=int, default=2,
+                   help="nodes to add mid-run (default %(default)s)")
+    p.add_argument("--objects", type=int, default=48,
+                   help="counter objects (default %(default)s)")
+    p.add_argument("--threads", type=int, default=2,
+                   help="app threads per node (default %(default)s)")
+    p.add_argument("--remote", type=float, default=0.05,
+                   help="fraction of transactions touching keys routed to "
+                        "other nodes (default %(default)s)")
+    p.add_argument("--steady", type=float, default=20_000.0,
+                   help="steady-state window before the add, in us "
+                        "(default %(default)s)")
+    p.add_argument("--after", type=float, default=40_000.0,
+                   help="measured window after the add, in us "
+                        "(default %(default)s)")
+    p.add_argument("--window", type=float, default=2_000.0,
+                   help="throughput sampling window in us "
+                        "(default %(default)s)")
+    p.add_argument("--quiesce", type=float, default=30_000.0,
+                   help="drain window before the audit (default %(default)s)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--wal", action="store_true",
+                   help="enable the per-node write-ahead log + snapshots")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="dump the metrics snapshot (rebalance.* included) "
+                        "as JSON")
 
 
 def _args_check(p: argparse.ArgumentParser) -> None:
@@ -583,6 +767,8 @@ COMMANDS = [
     ("verify", "model checkers + explorer", _args_verify, _cmd_verify),
     ("chaos", "fault-schedule campaign with invariant audits",
      _args_chaos, _cmd_chaos),
+    ("elastic", "live scale-out demo with throughput-recovery report",
+     _args_elastic, _cmd_elastic),
     ("check", "strict-serializability check over seeded runs",
      _args_check, _cmd_check),
     ("locality", "§8 locality analyses", None, _cmd_locality),

@@ -13,11 +13,12 @@ This is the entry point almost every example, test, and benchmark uses::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from ..cluster.failure import FailureInjector
 from ..cluster.membership import MembershipService
 from ..cluster.node import Node
+from ..cluster.rebalance import Rebalancer
 from ..commit.manager import CommitManager
 from ..net.fault import FaultInjector
 from ..net.network import Network
@@ -94,33 +95,44 @@ class ZeusCluster:
                                obs=self.obs)
         self.faults = faults
 
+        self._max_pipeline_depth = max_pipeline_depth
         self.handles: List[ZeusHandle] = []
         for nid in range(num_nodes):
-            node = Node(self.sim, nid, self.params, self.network, obs=self.obs)
-            store = ObjectStore(nid)
-            directory = (DirectoryTable(nid)
-                         if self.catalog.hosts_directory(nid) else None)
-            ownership = OwnershipManager(node, store, self.catalog, directory)
-            commit = CommitManager(node, store, self.catalog,
-                                   max_pipeline_depth=max_pipeline_depth)
-            ownership.commit_mgr = commit
-            commit.ownership = ownership
-            api = ZeusAPI(node, store, self.catalog, ownership, commit,
-                          rng=self.rng.stream(f"api.{nid}"))
-            recovery = RecoveryManager(node, store, self.catalog, directory,
-                                       ownership, commit)
-            if self.params.disk.enabled:
-                node.durability = DurabilityManager(
-                    node, store, directory, self.params.disk,
-                    self.obs.registry)
-            self.handles.append(ZeusHandle(node, store, directory, ownership,
-                                           commit, api, recovery))
+            self.handles.append(self._build_handle(nid))
 
         self.nodes = [h.node for h in self.handles]
         self.membership = MembershipService(self.sim, self.params, self.nodes)
         self.failures = FailureInjector(self.sim, self.network, obs=self.obs)
         self.failures.recover_fn = self._do_recover_node
         self._loaded = False
+        #: Nodes that completed a graceful drain (gone for good; skipped by
+        #: cold restarts and excluded from rebalance targets).
+        self.retired: Set[int] = set()
+        #: Sim time of the rebalancer's most recent convergence.
+        self.last_converge_at: Optional[float] = None
+        self._rebalancer: Optional[Rebalancer] = None
+        self._nodes_added_listeners: List[Callable[[Tuple[int, ...]], None]] = []
+
+    def _build_handle(self, nid: int) -> ZeusHandle:
+        node = Node(self.sim, nid, self.params, self.network, obs=self.obs)
+        store = ObjectStore(nid)
+        directory = (DirectoryTable(nid)
+                     if self.catalog.hosts_directory(nid) else None)
+        ownership = OwnershipManager(node, store, self.catalog, directory)
+        commit = CommitManager(node, store, self.catalog,
+                               max_pipeline_depth=self._max_pipeline_depth)
+        ownership.commit_mgr = commit
+        commit.ownership = ownership
+        api = ZeusAPI(node, store, self.catalog, ownership, commit,
+                      rng=self.rng.stream(f"api.{nid}"))
+        recovery = RecoveryManager(node, store, self.catalog, directory,
+                                   ownership, commit)
+        if self.params.disk.enabled:
+            node.durability = DurabilityManager(
+                node, store, directory, self.params.disk,
+                self.obs.registry)
+        return ZeusHandle(node, store, directory, ownership, commit, api,
+                          recovery)
 
     def _install_stats_hook(self) -> None:
         """Mirror event-loop health into registry gauges as the sim runs."""
@@ -206,6 +218,72 @@ class ZeusCluster:
             node.durability.on_restart(wipe=True)
         self.membership.admit(node.node_id)
 
+    # ------------------------------------------------------------ elasticity
+
+    @property
+    def rebalancer(self) -> Rebalancer:
+        """The (lazily created) background migration driver."""
+        if self._rebalancer is None:
+            self._rebalancer = Rebalancer(self)
+        return self._rebalancer
+
+    def is_draining(self, node_id: int) -> bool:
+        return (self._rebalancer is not None
+                and node_id in self._rebalancer.draining)
+
+    def on_nodes_added(self,
+                       fn: Callable[[Tuple[int, ...]], None]) -> None:
+        """Register a callback fired with the new node ids after each
+        :meth:`add_nodes` (workload drivers use it to spawn workers on the
+        joiners)."""
+        self._nodes_added_listeners.append(fn)
+
+    def add_nodes(self, count: int = 1, rebalance: bool = True) -> Tuple[int, ...]:
+        """Live scale-out: boot ``count`` fresh nodes and admit them.
+
+        Each joiner is built cold (empty store, no directory — directory
+        placement is frozen at the initial cluster size), quarantined until
+        its admission view installs, and then bulk-fed by the recovery
+        subsystem's chunked state transfer exactly like a rejoining crashed
+        node — except there is nothing to transfer, so its recovery barrier
+        lifts as soon as the transfer scan completes.  With ``rebalance``
+        (the default) the background rebalancer then starts migrating
+        ownership toward the newcomers.
+        """
+        new_ids = self.catalog.grow(count)
+        for nid in new_ids:
+            handle = self._build_handle(nid)
+            handle.node.begin_join()
+            self.handles.append(handle)
+            self.nodes.append(handle.node)
+            if self._loaded and handle.node.durability is not None:
+                handle.node.durability.start()
+            handle.recovery.on_join()
+            self.membership.register(handle.node)
+            self.membership.join(nid)
+        self.failures.note_added(new_ids)
+        for fn in self._nodes_added_listeners:
+            fn(new_ids)
+        if rebalance:
+            self.rebalancer.request()
+        return new_ids
+
+    def drain(self, node_id: int, at: Optional[float] = None):
+        """Gracefully remove a node: migrate its duties, then retire it.
+
+        Returns the rebalancer's drain future (``None`` when scheduled via
+        ``at``).  Directory hosts cannot be drained — directory placement
+        is frozen, so the paper's answer to losing one is crash recovery,
+        not planned removal.
+        """
+        if self.catalog.hosts_directory(node_id):
+            raise ValueError(f"node {node_id} hosts a directory partition; "
+                             "placement is frozen, so it cannot be drained")
+        if at is not None:
+            self.sim.call_at(at, self.rebalancer.drain, node_id)
+            return None
+        return self.rebalancer.drain(node_id)
+
     # ---------------------------------------------------------- power loss
 
     def power_loss(self, at: Optional[float] = None) -> None:
@@ -235,6 +313,8 @@ class ZeusCluster:
         epoch_floor = 0
         for h in self.handles:
             node = h.node
+            if node.node_id in self.retired:
+                continue  # drained for good; a cold restart does not resurrect
             node.restart()
             h.store.clear()
             if h.directory is not None:

@@ -26,7 +26,7 @@ locality shifts and how operators spread load (the Voter experiments).
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from ..hermes.protocol import HermesReplica
 from ..net.message import NodeId
@@ -118,3 +118,42 @@ class LoadBalancer:
         if not nodes:
             raise ValueError("at least one active node required")
         self.active_nodes = list(nodes)
+
+    def grow(self, new_nodes: Iterable[NodeId],
+             keys: Optional[Iterable[Any]] = None) -> int:
+        """Admit freshly added cluster nodes and shift load onto them.
+
+        ``set_active`` alone is enough for scale-*in*; for scale-*out*
+        every existing key stays pinned to an old node, so the joiners
+        would only ever see traffic for keys first requested after the
+        add.  Passing ``keys`` (the live key population) additionally
+        re-pins a fair share onto the joiners — the operator-driven load
+        spread of the Voter experiments, applied to a grown serving set —
+        after which Zeus's locality protocol migrates the objects behind
+        those keys to their new access point.  Returns how many keys were
+        re-pinned.  Deterministic: surplus keys move in table order.
+        """
+        joiners = [n for n in sorted(set(new_nodes))
+                   if n not in self.active_nodes]
+        self.active_nodes.extend(joiners)
+        self.num_nodes = max(self.num_nodes, max(self.active_nodes) + 1)
+        if not joiners or keys is None:
+            return 0
+        pinned: Dict[NodeId, List[Any]] = {n: [] for n in self.active_nodes}
+        all_keys = list(keys)
+        for key in all_keys:
+            cur = self.lookup(key)
+            if cur in pinned:
+                pinned[cur].append(key)
+        target = -(-len(all_keys) // len(self.active_nodes))  # ceil
+        surplus = [key for _n, ks in sorted(pinned.items())
+                   for key in ks[target:]]
+        moved = 0
+        for joiner in joiners:
+            take = max(0, target - len(pinned[joiner]))
+            for key in surplus[:take]:
+                self.repin(key, joiner)
+                moved += 1
+            surplus = surplus[take:]
+        self.counters.inc("repins", moved)
+        return moved

@@ -6,7 +6,7 @@ execution (§4) and broadcast commit hiding replication latency (§5) — so
 this module turns a causal trace (spans linked by ``trace``/``parent``
 ids, wire flows linked by ``flow`` ids) into per-transaction
 :class:`TxnTimeline`\\ s, attributing every instant of a transaction's
-end-to-end latency to one of eight named segments:
+end-to-end latency to one of nine named segments:
 
 ``local CPU``
     the application thread is executing (setup, reads, writes, local
@@ -24,6 +24,11 @@ end-to-end latency to one of eight named segments:
 ``ownership-blocked``
     residual of an ``own_acquire`` window no finer-grained evidence
     covers (e.g. the untraced ACK return path, driver think time);
+``rebalance-blocked``
+    the part of an ``own_acquire`` window that overlaps a live
+    rebalancer migration batch (a global ``rebalance`` span): ownership
+    waits caused by reconfiguration churn, split out so ``repro
+    analyze`` can attribute scale-out/drain cost separately;
 ``replication-ACK wait``
     residual of the replication windows: pipeline back-pressure
     (``commit_wait_room``) plus the tail between the app-visible commit
@@ -33,7 +38,7 @@ end-to-end latency to one of eight named segments:
     between the slot's validation and its WAL COMMIT record's fsync
     (zero when the WAL is disabled).
 
-**The invariant**: per transaction, the eight segments partition the
+**The invariant**: per transaction, the nine segments partition the
 timeline exactly.  Attribution runs on integer nanoseconds (simulated
 time quantized at 1 ns), so ``sum(segments) == duration`` holds *exactly*,
 not approximately — enforced by a property test.  Within a blocked
@@ -67,6 +72,7 @@ SEGMENTS = (
     "remote-CPU service",
     "CPU-queue wait",
     "ownership-blocked",
+    "rebalance-blocked",
     "replication-ACK wait",
     "retransmit stall",
     "disk",
@@ -77,8 +83,8 @@ _PRECEDENCE = ("retransmit stall", "remote-CPU service", "CPU-queue wait",
                "wire")
 
 #: Overlapping-window residual precedence (lower = more specific).
-_RESIDUAL_PRIORITY = {"disk": 0, "ownership-blocked": 1,
-                      "replication-ACK wait": 2}
+_RESIDUAL_PRIORITY = {"disk": 0, "rebalance-blocked": 1,
+                      "ownership-blocked": 2, "replication-ACK wait": 3}
 
 _NS_PER_US = 1000
 
@@ -262,6 +268,11 @@ def build_timelines(source) -> List[TxnTimeline]:
     for rec in records:
         if rec.get("trace") is not None:
             by_trace.setdefault(rec["trace"], []).append(rec)
+    # Global migration-batch spans (no trace id): any ownership wait that
+    # overlaps one is charged to reconfiguration churn, not the protocol.
+    rebalance_ivs = [(_ns(r["start_us"]), _ns(r["end_us"]))
+                     for r in records
+                     if r["type"] == "span" and r["name"] == "rebalance"]
 
     timelines: List[TxnTimeline] = []
     for trace_id in sorted(by_trace):
@@ -291,6 +302,11 @@ def build_timelines(source) -> List[TxnTimeline]:
                                     start, end)
                 if iv:
                     windows.append((iv[0], iv[1], "ownership-blocked"))
+                    for ra, rb in rebalance_ivs:
+                        sub = _interval_clip(ra, rb, iv[0], iv[1])
+                        if sub:
+                            windows.append((sub[0], sub[1],
+                                            "rebalance-blocked"))
             elif s["name"] == "commit_wait_room":
                 iv = _interval_clip(_ns(s["start_us"]), _ns(s["end_us"]),
                                     start, end)

@@ -142,6 +142,11 @@ class OwnershipManager(LifecycleMixin):
         self.commit_mgr = None
         #: Policy: which reader to trim after a non-replica acquisition.
         self.trim_policy: str = "old_owner"
+        #: Nodes being drained (set cluster-wide by the rebalancer): when a
+        #: post-acquisition trim must discard a reader, prefer one of
+        #: these, so every ownership move during a drain doubles as the
+        #: draining node's eviction from that replica set.
+        self.trim_preferred: Set[NodeId] = set()
 
         self._next_req_id = 0
         self._reqs: Dict[ReqId, _ReqCtx] = {}
@@ -367,6 +372,19 @@ class OwnershipManager(LifecycleMixin):
     def _apply_and_validate(self, ctx: _ReqCtx) -> None:
         """All ACKs in: apply locally *first* (paper: the requester must
         apply before any arbiter), then VAL every arbiter."""
+        if (ctx.req_type in (ReqType.ACQUIRE_OWNER, ReqType.ADD_READER)
+                and ctx.data_version is None
+                and not self.store.has(ctx.oid)):
+            # Every arbiter ACKed but none attached the value (the
+            # designated data source lost its copy after the directory
+            # read): installing a fresh version-0 copy here would fork
+            # the object's history.  Roll the arbitration back instead.
+            abort = OwnAbort(ctx.req_id, ctx.oid, ctx.o_ts, self.node.epoch)
+            for arb in ctx.arbiters:
+                self.node.send(arb, KIND_ABORT, abort, OwnAbort.size)
+            self.counters.inc("ack_no_data_abort")
+            self._complete(ctx, False, NackReason.NO_DATA)
+            return
         self._apply_locally(ctx.oid, ctx.req_type, ctx.o_ts, ctx.new_replicas,
                             ctx.data, ctx.data_version)
         val = OwnVal(ctx.req_id, ctx.oid, ctx.o_ts, self.node.epoch)
@@ -433,6 +451,9 @@ class OwnershipManager(LifecycleMixin):
         readers = [r for r in replicas.readers if r != self.node_id]
         if not readers:
             return None
+        draining = [r for r in readers if r in self.trim_preferred]
+        if draining:
+            return draining[0]
         if self.trim_policy == "old_owner":
             # The reader the access pattern just moved *away* from is the
             # least likely to be useful; it is the highest-o_ts reader, but
@@ -467,11 +488,12 @@ class OwnershipManager(LifecycleMixin):
             else:
                 self._complete(ctx, True, None)
             return
-        if nack.reason == NackReason.BUSY_COMMIT and nack.arbiters:
+        if (nack.reason in (NackReason.BUSY_COMMIT, NackReason.NO_DATA)
+                and nack.arbiters):
             # Directory arbiters already invalidated; revert them.
             abort = OwnAbort(nack.req_id, nack.oid, nack.o_ts, self.node.epoch)
             for arb in nack.arbiters:
-                if arb != msg.src:  # the busy owner never invalidated
+                if arb != msg.src:  # the refusing arbiter never invalidated
                     self.node.send(arb, KIND_ABORT, abort, OwnAbort.size)
         self._complete(ctx, False, nack.reason)
 
@@ -645,6 +667,24 @@ class OwnershipManager(LifecycleMixin):
                 self.node.send(target, KIND_NACK, nack, OwnNack.size)
                 self.counters.inc("owner_busy_nack")
                 return
+
+        # Data-source check: the driver routed the value transfer through
+        # us, but our copy is gone (dropped after a timed-out migration,
+        # or reconciled away while the directory still listed us).  A
+        # plain ACK would complete the grant with no value and let the
+        # requester install a fresh version-0 fork of the object's
+        # history — refuse instead, so the requester rolls the
+        # arbitration back and retries against a repaired directory.
+        if (inv.data_source == self.node_id and obj is None
+                and inv.req_type in (ReqType.ACQUIRE_OWNER,
+                                     ReqType.ADD_READER)):
+            nack = OwnNack(inv.req_id, oid, NackReason.NO_DATA,
+                           self.node.epoch, arbiters=inv.arbiters,
+                           o_ts=inv.o_ts)
+            target = msg.src if inv.replay else inv.requester
+            self.node.send(target, KIND_NACK, nack, OwnNack.size)
+            self.counters.inc("data_source_gone_nack")
+            return
 
         # Accept: invalidate and ACK.
         self._pending_arb[oid] = inv
@@ -917,13 +957,25 @@ class OwnershipManager(LifecycleMixin):
         self._initiate_replays()
 
     def _initiate_replays(self) -> None:
-        """Arb-replay every pending arbitration whose participants include
-        dead nodes (Section 4.1, failure recovery)."""
+        """Arb-replay every pending arbitration the epoch bump interrupted.
+
+        Two cases need a replay (Section 4.1, failure recovery):
+
+        * participants include dead nodes — any surviving arbiter replays
+          so the arbitration can settle without them;
+        * *all* participants survived but the view still changed (a node
+          was admitted or gracefully retired).  The epoch fence dropped
+          every in-flight INV/ACK/VAL of the old epoch, so nobody will
+          finish the arbitration either — the **driver** re-drives it in
+          the new epoch.  Without this, an admission view can strand a
+          directory entry in Drive state forever, and every later request
+          for the object livelocks on BUSY_ARBITRATION NACKs.
+        """
         live = self.node.live_nodes
         for oid, inv in list(self._pending_arb.items()):
             participants = set(inv.arbiters) | {inv.requester}
-            if participants <= live:
-                continue  # all participants live: it will finish normally
+            if participants <= live and inv.o_ts.node_id != self.node_id:
+                continue  # all live and someone else drives: theirs to fix
             self._start_replay(inv)
 
     def _start_replay(self, inv: OwnInv) -> None:
@@ -985,6 +1037,15 @@ class OwnershipManager(LifecycleMixin):
             ctx.arbiters = resp.arbiters
             ctx.resp = resp
             self._finish_resp(ctx.oid, ctx.req_type, resp, ctx)
+        else:
+            # The request is gone (watchdog fired, or an arb-replay after
+            # an epoch bump re-offered an acquisition we abandoned).  The
+            # arbiters are all invalidated waiting on our VAL; nobody else
+            # will ever send it, so roll the arbitration back.
+            abort = OwnAbort(resp.req_id, resp.oid, resp.o_ts, self.node.epoch)
+            for arb in resp.arbiters:
+                self.node.send(arb, KIND_ABORT, abort, OwnAbort.size)
+            self.counters.inc("stale_resp_abort")
             return
         # Late RESP for a request we abandoned: honour the grant anyway so
         # the arbiters unblock and the directory stays consistent.
@@ -1027,6 +1088,14 @@ class OwnershipManager(LifecycleMixin):
         fetch: OwnFetch = msg.payload
         obj = self.store.get(fetch.oid)
         if obj is None:
+            # Our copy is gone (trimmed or reconciled away since the RESP
+            # named us as the source): reply with an empty DATA so the
+            # requester fails fast with NO_DATA instead of stalling until
+            # its watchdog fires.
+            empty = OwnData(fetch.req_id, fetch.oid, self.node.epoch,
+                            None, None)
+            self.node.send(msg.src, KIND_DATA, empty, empty.size_with(0))
+            self.counters.inc("fetch_source_gone")
             return
         data = OwnData(fetch.req_id, fetch.oid, self.node.epoch,
                        obj.t_data, obj.t_version)
@@ -1041,5 +1110,16 @@ class OwnershipManager(LifecycleMixin):
         resp, ctx, req_type = waiting
         if ctx is not None and ctx.done:
             ctx = None
+        if payload.data_version is None and not self.store.has(payload.oid):
+            # The fetch target had no copy: abort the grant rather than
+            # installing a version-0 fork (mirrors _apply_and_validate).
+            abort = OwnAbort(payload.req_id, payload.oid, resp.o_ts,
+                             self.node.epoch)
+            for arb in resp.arbiters:
+                self.node.send(arb, KIND_ABORT, abort, OwnAbort.size)
+            self.counters.inc("fetch_no_data_abort")
+            if ctx is not None:
+                self._complete(ctx, False, NackReason.NO_DATA)
+            return
         self._apply_resp(payload.oid, req_type, resp, ctx,
                          payload.data, payload.data_version)

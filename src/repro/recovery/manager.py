@@ -69,6 +69,11 @@ _ENTRY_BYTES = 24
 _CHUNK_GAP_US = 5.0
 #: Degree-repair acquisition retry budget (arbitration can be busy).
 _REPAIR_ATTEMPTS = 60
+#: Repair retry backoff: exponential from the per-path base, capped here.
+#: Jitter is a deterministic hash of (node, oid, attempt) — it spreads
+#: herds of concurrent repairers without consuming any shared rng stream,
+#: so adding a retry on one node never perturbs another node's schedule.
+_BACKOFF_CAP_US = 3200.0
 #: Convergence pause between cold-reconcile phases (a few wire round
 #: trips; every reconcile message is on the reliable transport, so this
 #: only needs to cover delivery, not loss).
@@ -160,6 +165,30 @@ class RecoveryManager:
                                 cat="recovery", inc=self.node.incarnation)
             # Quarantine window: the reboot drops all inbound traffic until
             # membership re-admits us (span closed at the admit view).
+            self._quarantine_span = self.tracer.begin(
+                "recovery.quarantine", pid=self.node_id, cat="recovery",
+                inc=self.node.incarnation)
+
+    def on_join(self) -> None:
+        """Arm the rejoin machinery for a *brand-new* node (live scale-out).
+
+        Unlike :meth:`on_restart` there is no pre-crash state to wipe and
+        no MTTR clock to start: the node is blank by construction.  It
+        rides the same admit-view → snapshot-transfer → repair path as a
+        restarted node, so a joiner learns the directory map — and, once
+        the rebalancer moves replicas its way, the data — through the
+        exact mechanism the rejoin audits already cover.
+        """
+        self._crash_time = None
+        self._admitted_at = None
+        self._pending_donors.clear()
+        self._entries.clear()
+        self._repairing.clear()
+        self._awaiting = True
+        self.counters.inc("joins")
+        if self.tracer:
+            self.tracer.instant("recovery.join", pid=self.node_id,
+                                cat="recovery", inc=self.node.incarnation)
             self._quarantine_span = self.tracer.begin(
                 "recovery.quarantine", pid=self.node_id, cat="recovery",
                 inc=self.node.incarnation)
@@ -335,10 +364,23 @@ class RecoveryManager:
             self.tracer.instant("recovery.complete", pid=self.node_id,
                                 cat="recovery", inc=self.node.incarnation)
 
+    def _backoff_us(self, oid: ObjectId, attempt: int,
+                    base_us: float) -> float:
+        """Jittered exponential backoff for repair retries, capped at
+        :data:`_BACKOFF_CAP_US`.  Jitter keeps 50–100% of the exponential
+        step, derived from a deterministic hash so the schedule is
+        reproducible and per-(node, oid) decorrelated."""
+        from ..sim.rng import hash_str
+
+        step = min(base_us * (2.0 ** attempt), _BACKOFF_CAP_US)
+        jitter = (hash_str(f"repair-backoff/{self.node_id}/{oid}/{attempt}")
+                  % 1024) / 1024.0
+        return step * (0.5 + 0.5 * jitter)
+
     def _acquire_with_retry(self, oid: ObjectId):
         """Join ``oid``'s replica set via ADD_READER, retrying through
-        transient NACKs (busy arbitration, recovery barrier) with a
-        deterministic backoff."""
+        transient NACKs (busy arbitration, recovery barrier) with jittered
+        exponential backoff."""
         self._repairing.add(oid)
         try:
             for attempt in range(_REPAIR_ATTEMPTS):
@@ -348,7 +390,8 @@ class RecoveryManager:
                     oid, ReqType.ADD_READER)
                 if outcome.granted and self.store.has(oid):
                     break
-                yield 400.0 + 40.0 * attempt
+                self.counters.inc("repair_retries")
+                yield self._backoff_us(oid, attempt, 400.0)
             if self.store.has(oid):
                 self.counters.inc("objects_repaired")
             else:
@@ -373,7 +416,9 @@ class RecoveryManager:
                     break  # sole surviving member: the value died with us
                 self.node.send(sources[attempt % len(sources)],
                                KIND_FETCH, oid, 16)
-                yield 300.0 + 20.0 * attempt
+                if attempt:
+                    self.counters.inc("repair_retries")
+                yield self._backoff_us(oid, attempt, 300.0)
             if self.store.has(oid):
                 self.counters.inc("objects_refetched")
             else:

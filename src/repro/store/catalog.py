@@ -52,6 +52,13 @@ class Catalog:
         #: by rendezvous hashing — the distributed-directory scheme §6.2
         #: prescribes for large deployments or limited locality.
         self.directory_mode = directory_mode
+        #: Directory placement is frozen at the construction-time cluster
+        #: size: nodes added later by :meth:`grow` never host directory
+        #: entries.  Re-sharding the arbiters onto state-less fresh nodes
+        #: mid-run would hand the recovery barrier to nodes with no entries
+        #: to arbitrate; keeping placement pinned preserves the §4 fencing
+        #: argument across elastic membership changes.
+        self._dir_base = num_nodes
         self.tables: Dict[str, TableSpec] = {}
         self._sizes: List[int] = []
         self._initial_owner: List[NodeId] = []
@@ -92,6 +99,22 @@ class Catalog:
             for key in keys
         ]
 
+    def grow(self, count: int) -> Tuple[NodeId, ...]:
+        """Extend the placement universe by ``count`` fresh node ids.
+
+        Returns the new ids (dense, following the existing ones).  Only
+        the *universe* grows: directory placement stays frozen at the
+        construction-time base (see ``_dir_base``) and existing objects
+        keep their initial placement — moving data onto the new nodes is
+        the rebalancer's job, via the ownership protocol's normal
+        handover path.
+        """
+        if count < 1:
+            raise ValueError("must grow by at least one node")
+        first = self.num_nodes
+        self.num_nodes += count
+        return tuple(range(first, first + count))
+
     def _hash_place(self, table: str, key: object) -> NodeId:
         from ..sim.rng import hash_str
 
@@ -123,7 +146,7 @@ class Catalog:
     def directory_nodes(self) -> Tuple[NodeId, ...]:
         """The (up to) three nodes hosting cluster-wide directory duties
         (the recovery barrier always lives here, whatever the mode)."""
-        return tuple(range(min(3, self.num_nodes)))
+        return tuple(range(min(3, self._dir_base)))
 
     def directory_nodes_for(self, oid: ObjectId) -> Tuple[NodeId, ...]:
         """The directory replicas arbitrating ``oid``.
@@ -131,17 +154,19 @@ class Catalog:
         Single mode: the fixed first-three nodes.  Hashed mode: the top
         three nodes by rendezvous hash of (oid, node) — stable per object,
         uniformly spread, and minimally disturbed by membership changes.
+        Rendezvous ranking runs over the frozen base, so :meth:`grow`
+        never reshuffles arbiters.
         """
-        if self.directory_mode == "single" or self.num_nodes <= 3:
+        if self.directory_mode == "single" or self._dir_base <= 3:
             return self.directory_nodes()
         from ..sim.rng import hash_str
 
-        ranked = sorted(range(self.num_nodes),
+        ranked = sorted(range(self._dir_base),
                         key=lambda n: hash_str(f"dir:{oid}:{n}"))
         return tuple(sorted(ranked[:3]))
 
     def hosts_directory(self, node_id: NodeId) -> bool:
         """Whether ``node_id`` may hold directory entries at all."""
-        if self.directory_mode == "hashed" and self.num_nodes > 3:
-            return True
+        if self.directory_mode == "hashed" and self._dir_base > 3:
+            return node_id < self._dir_base
         return node_id in self.directory_nodes()

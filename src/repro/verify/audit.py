@@ -43,6 +43,17 @@ storage tier makes.  Non-persisted commits may legitimately vanish in a
 full power loss (they were only replication-durable) and are downgraded
 to indeterminate by the history recorder, so the strict-serializability
 check treats them as maybe-committed across the restart.
+
+A ninth — **reconfig** — runs when the run reconfigured membership (a
+live scale-out or a graceful drain): every retired node must be out of
+the installed view, dead, and absent from every replica set; every added
+node that was not deliberately taken down again must be a live,
+first-class member; and once the rebalancer reported convergence *after*
+the last disturbance, the owned-object spread across members must be at
+most one.  Drains are additionally held to a stricter exactly-once
+standard than crash-stops: a *graceful* removal may not lose a single
+recorded commit, so drained coordinators keep counting toward the strict
+equality check rather than the crashed-coordinator slack.
 """
 
 from __future__ import annotations
@@ -56,7 +67,7 @@ from .invariants import check_invariants, quiescence_problems
 __all__ = ["CommitLedger", "AuditReport", "audit_run",
            "audit_safety", "audit_exactly_once", "audit_epochs",
            "audit_liveness", "audit_rejoin", "audit_degree",
-           "audit_history", "audit_durability"]
+           "audit_history", "audit_durability", "audit_reconfig"]
 
 
 class CommitLedger:
@@ -93,17 +104,18 @@ class AuditReport:
     """Outcome of all audits for one run."""
 
     __slots__ = ("safety", "exactly_once", "epoch", "liveness", "rejoin",
-                 "degree", "history", "durability")
+                 "degree", "history", "durability", "reconfig")
 
     _NAMES = ("safety", "exactly_once", "epoch", "liveness", "rejoin",
-              "degree", "history", "durability")
+              "degree", "history", "durability", "reconfig")
 
     def __init__(self, safety: List[str], exactly_once: List[str],
                  epoch: List[str], liveness: List[str],
                  rejoin: Optional[List[str]] = None,
                  degree: Optional[List[str]] = None,
                  history: Optional[List[str]] = None,
-                 durability: Optional[List[str]] = None):
+                 durability: Optional[List[str]] = None,
+                 reconfig: Optional[List[str]] = None):
         self.safety = safety
         self.exactly_once = exactly_once
         self.epoch = epoch
@@ -112,6 +124,7 @@ class AuditReport:
         self.degree = degree if degree is not None else []
         self.history = history if history is not None else []
         self.durability = durability if durability is not None else []
+        self.reconfig = reconfig if reconfig is not None else []
 
     @property
     def ok(self) -> bool:
@@ -159,8 +172,12 @@ def audit_exactly_once(cluster: ZeusCluster, ledger: CommitLedger,
     live = {h.node_id for h in cluster.handles if h.node.alive}
     # The hard lower bound only counts coordinators that *never* crashed:
     # a recovered node is alive again, but commits it recorded just before
-    # its crash may have died with its in-flight pipeline slots.
-    survivors = live - crashed
+    # its crash may have died with its in-flight pipeline slots.  A
+    # *drained* coordinator is the opposite case: the graceful removal
+    # waited out its in-flight work before halting it, so its recorded
+    # commits are held to the same zero-loss standard as a live node's.
+    drained = {nid for _t, nid in cluster.failures.drained}
+    survivors = (live | drained) - crashed
     # Unrecorded commits can only come from a crashed coordinator's app
     # threads, at most one per thread (the window between local commit and
     # the driver recording it).
@@ -335,6 +352,90 @@ def audit_durability(cluster: ZeusCluster, history) -> List[str]:
     return problems
 
 
+def audit_reconfig(cluster: ZeusCluster) -> List[str]:
+    """Post-reconfiguration placement: retired nodes hold no duties,
+    joiners are first-class members, and ownership ends up balanced.
+
+    Runs only when the cluster was reconfigured (an :class:`AddNodesEvent`
+    scale-out or a graceful drain).  The balance clause applies only when
+    the rebalancer reported convergence *after* the last disturbance — a
+    run whose tail fault outlived the rebalance is audited for safety by
+    the other eight, not for a balance nobody re-established."""
+    failures = cluster.failures
+    drained = {nid for _t, nid in failures.drained}
+    added = {nid for _t, nid in failures.added}
+    if not drained and not added:
+        return []
+    problems: List[str] = []
+    view = cluster.membership.view
+    catalog = cluster.catalog
+
+    # 1. Retired nodes are gone for good: out of the view, halted, and in
+    #    no surviving replica set.
+    for nid in sorted(drained):
+        if nid in view.live:
+            problems.append(
+                f"drained node {nid} still in the installed view "
+                f"(epoch {view.epoch})")
+        if cluster.nodes[nid].alive:
+            problems.append(f"drained node {nid} still alive at quiesce")
+    for oid in range(catalog.num_objects):
+        replicas = cluster.replicas_of(oid)
+        if replicas is None:
+            continue  # the degree audit reports missing entries
+        holders = set(replicas.all_nodes()) & drained
+        if holders:
+            problems.append(
+                f"object {oid}: retired node(s) {sorted(holders)} still "
+                f"in replica set {replicas}")
+
+    # 2. Every added node that was not deliberately taken down again
+    #    (drained, or crashed without recovery or a reviving cold restart)
+    #    is a live first-class member of the installed view.
+    restarts = failures.cold_restarts
+    crashed_final = {nid for t, nid in failures.crashed
+                     if not any(r >= t for r in restarts)}
+    recovered = {nid for _t, nid in failures.recovered}
+    dead_ok = (crashed_final - recovered) | drained
+    for nid in sorted(added - dead_ok):
+        if nid >= len(cluster.handles):
+            problems.append(f"added node {nid} was never constructed")
+        elif not cluster.nodes[nid].alive:
+            problems.append(f"added node {nid} not alive at quiesce")
+        elif nid not in view.live:
+            problems.append(
+                f"added node {nid} missing from the installed view "
+                f"(epoch {view.epoch})")
+
+    # 3. Balance: once the rebalancer settled after the final disturbance,
+    #    owned-object counts across live members may differ by at most 1.
+    disturbances = ([t for t, _n in failures.crashed]
+                    + [t for t, _n in failures.recovered]
+                    + [t for t, _n in failures.added]
+                    + [t for t, _n in failures.drained]
+                    + list(failures.power_losses)
+                    + list(failures.cold_restarts))
+    converged_at = cluster.last_converge_at
+    if converged_at is None:
+        problems.append(
+            "membership was reconfigured but the rebalancer never "
+            "reported convergence")
+    elif converged_at > max(disturbances):
+        owned = {nid: 0 for nid in view.live
+                 if nid < len(cluster.handles) and cluster.nodes[nid].alive}
+        for oid in range(catalog.num_objects):
+            replicas = cluster.replicas_of(oid)
+            if replicas is not None and replicas.owner in owned:
+                owned[replicas.owner] += 1
+        if owned:
+            spread = max(owned.values()) - min(owned.values())
+            if spread > 1:
+                problems.append(
+                    f"ownership imbalance after convergence: {owned} "
+                    f"(spread {spread} > 1)")
+    return problems
+
+
 def audit_history(history) -> List[str]:
     """Strict-serializability check over a recorded history.
 
@@ -362,4 +463,5 @@ def audit_run(cluster: ZeusCluster, ledger: CommitLedger,
         degree=audit_degree(cluster),
         history=audit_history(history) if history is not None else [],
         durability=audit_durability(cluster, history),
+        reconfig=audit_reconfig(cluster),
     )

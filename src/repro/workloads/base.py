@@ -21,7 +21,8 @@ from ..harness.metrics import ThroughputMeter
 from ..harness.zeus_cluster import ZeusCluster
 from ..store.catalog import ObjectId
 
-__all__ = ["TxnSpec", "RunStats", "run_zeus_workload", "run_baseline_workload"]
+__all__ = ["TxnSpec", "RunStats", "run_zeus_workload", "spawn_zeus_workers",
+           "run_baseline_workload"]
 
 
 class TxnSpec:
@@ -63,27 +64,26 @@ class RunStats:
         return self.meter.rate_tps(elapsed_us)
 
 
-def run_zeus_workload(cluster: ZeusCluster, spec_fn: SpecFn,
-                      duration_us: float, warmup_us: float = 0.0,
-                      threads: Optional[int] = None,
-                      nodes: Optional[Iterable[int]] = None,
-                      seed: int = 1,
-                      on_commit: Optional[CommitHook] = None) -> RunStats:
-    """Drive a Zeus cluster closed-loop and return aggregate stats.
+def spawn_zeus_workers(cluster: ZeusCluster, spec_fn: SpecFn,
+                       stats: RunStats, stop_at: float, measure_from: float,
+                       threads: int, node_ids: Iterable[int], seed: int = 1,
+                       on_commit: Optional[CommitHook] = None) -> None:
+    """Spawn closed-loop worker coroutines on ``node_ids``.
 
-    Statistics only count transactions committed after ``warmup_us``.
+    Split out of :func:`run_zeus_workload` so elastic runs can add workers
+    on nodes that *join* mid-run (the scale-out path spawns a fresh set on
+    each admitted node, feeding the same :class:`RunStats`).  Workers stop
+    on their own when the node dies or enters a graceful drain — a drained
+    node must wind down its application load, not keep generating it.
     """
-    stats = RunStats()
     sim = cluster.sim
-    threads = threads if threads is not None else cluster.params.app_threads
-    node_ids = list(nodes) if nodes is not None else list(range(len(cluster.handles)))
-    stop_at = sim.now + duration_us
-    measure_from = sim.now + warmup_us
+    is_draining = getattr(cluster, "is_draining", lambda _nid: False)
 
     def worker(node_id: int, thread: int):
         api = cluster.handles[node_id].api
         rng = cluster.rng.stream(f"wl.{seed}.{node_id}.{thread}")
-        while sim.now < stop_at and cluster.nodes[node_id].alive:
+        while (sim.now < stop_at and cluster.nodes[node_id].alive
+               and not is_draining(node_id)):
             spec = spec_fn(node_id, thread, rng)
             if spec is None:
                 yield 5.0  # nothing routed here right now
@@ -113,6 +113,30 @@ def run_zeus_workload(cluster: ZeusCluster, spec_fn: SpecFn,
         for thread in range(threads):
             cluster.spawn_app(node_id, thread, worker(node_id, thread),
                               name=f"wl{thread}")
+
+
+def run_zeus_workload(cluster: ZeusCluster, spec_fn: SpecFn,
+                      duration_us: float, warmup_us: float = 0.0,
+                      threads: Optional[int] = None,
+                      nodes: Optional[Iterable[int]] = None,
+                      seed: int = 1,
+                      on_commit: Optional[CommitHook] = None,
+                      stats: Optional[RunStats] = None) -> RunStats:
+    """Drive a Zeus cluster closed-loop and return aggregate stats.
+
+    Statistics only count transactions committed after ``warmup_us``.
+    Pass ``stats`` to aggregate into a caller-owned instance (elastic runs
+    share one across workers spawned before and after a scale-out).
+    """
+    if stats is None:
+        stats = RunStats()
+    sim = cluster.sim
+    threads = threads if threads is not None else cluster.params.app_threads
+    node_ids = list(nodes) if nodes is not None else list(range(len(cluster.handles)))
+    stop_at = sim.now + duration_us
+    measure_from = sim.now + warmup_us
+    spawn_zeus_workers(cluster, spec_fn, stats, stop_at, measure_from,
+                       threads, node_ids, seed=seed, on_commit=on_commit)
     cluster.run(until=stop_at)
     return stats
 

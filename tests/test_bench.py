@@ -26,7 +26,7 @@ SCALE = 0.12  # keep bench cells test-sized
 
 def test_registry_metadata():
     assert set(SCENARIOS) == {"smallbank", "tatp", "voter_migration",
-                              "chaos2"}
+                              "chaos2", "elastic"}
     for name, scenario in SCENARIOS.items():
         assert scenario.name == name
         assert scenario.description
@@ -225,8 +225,9 @@ def test_write_bench_path(tmp_path, bench_doc):
 
 def test_cli_registry_covers_all_commands():
     names = [name for name, _, _, _ in COMMANDS]
-    assert names == ["quickstart", "verify", "chaos", "check", "locality",
-                     "smallbank", "trace", "analyze", "bench", "list"]
+    assert names == ["quickstart", "verify", "chaos", "elastic", "check",
+                     "locality", "smallbank", "trace", "analyze", "bench",
+                     "list"]
     assert len(set(names)) == len(names)
     for _, help_line, _, handler in COMMANDS:
         assert help_line and callable(handler)

@@ -1,0 +1,353 @@
+"""Elastic membership: live scale-out, graceful drain, and chaos during
+rebalance.
+
+Covers the reconfiguration subsystem end to end — ``add_nodes`` booting
+joiners through quarantine under live traffic, ``drain`` retiring a node
+with acquisitions in flight, the rebalancer converging around crashes and
+partitions, the elastic schedule generator, the ninth (reconfig) audit,
+the load balancer's scale-out support, and the analyzer's
+``rebalance-blocked`` segment.
+"""
+
+import pytest
+
+from repro.chaos import (
+    AddNodesEvent,
+    CampaignConfig,
+    CrashEvent,
+    DrainEvent,
+    FaultSchedule,
+    PartitionEvent,
+    RecoverEvent,
+    ScheduleConfig,
+    campaign_schedule,
+    generate_elastic_schedule,
+    generate_schedule,
+    run_chaos_once,
+)
+from repro.chaos.campaign import _build_cluster
+from repro.chaos.schedule import ClusterRestartEvent
+from repro.obs import Observability, build_timelines
+from repro.verify.audit import CommitLedger, audit_reconfig, audit_run
+from repro.workloads.base import RunStats, TxnSpec, spawn_zeus_workers
+
+
+def _cfg(**overrides):
+    kw = dict(num_schedules=1, seeds=(0,), difficulty=2,
+              duration_us=20_000.0, quiesce_us=25_000.0, elastic=True)
+    kw.update(overrides)
+    return CampaignConfig(**kw)
+
+
+def _spec_fn(num_objects):
+    def spec(node_id, thread, rng):
+        oids = rng.sample(range(num_objects), rng.randrange(1, 3))
+        return TxnSpec(write_set=oids, exec_us=0.3)
+    return spec
+
+
+def _run_with_workers(cluster, cfg, stop_at, setup, seed=1):
+    """Drive the counter workload on every base node while ``setup``
+    schedules the reconfiguration, then converge + quiesce + audit."""
+    ledger = CommitLedger()
+    spec = _spec_fn(cfg.num_objects)
+
+    def on_commit(node_id, s, _result):
+        ledger.record(node_id, s.write_set)
+
+    stats = RunStats()
+    spawn_zeus_workers(cluster, spec, stats, stop_at=stop_at,
+                       measure_from=0.0, threads=2,
+                       node_ids=list(range(cfg.num_nodes)), seed=seed,
+                       on_commit=on_commit)
+    setup(spec, stats, on_commit)
+    cluster.run(until=stop_at)
+    done = cluster.rebalancer.converge()
+    deadline = cluster.sim.now + 80_000.0
+    while not done.done() and cluster.sim.now < deadline:
+        cluster.run(until=cluster.sim.now + 2_000.0)
+    cluster.run(until=cluster.sim.now + cfg.quiesce_us)
+    return ledger, stats, done
+
+
+# ======================================================================
+# Scale-out and drain under live traffic
+# ======================================================================
+
+
+def test_add_nodes_under_load_balances_and_audits_clean():
+    cfg = _cfg()
+    obs = Observability()
+    cluster = _build_cluster(cfg, seed=0, obs=obs)
+    cluster.start_membership()
+    joined = []
+
+    def setup(spec, stats, on_commit):
+        cluster.on_nodes_added(lambda ids: joined.extend(ids))
+        cluster.sim.call_at(5_000.0, cluster.add_nodes, 2)
+
+    ledger, stats, done = _run_with_workers(cluster, cfg, 20_000.0, setup)
+    assert joined == [4, 5]
+    assert done.done()
+    assert stats.committed > 0
+    audit = audit_run(cluster, ledger, initial_value=0)
+    assert audit.ok, audit.problems()
+    assert obs.registry.counter_total("rebalance.objects_moved") > 0
+
+
+def test_drain_with_inflight_acquisitions_retires_node():
+    cfg = _cfg()
+    obs = Observability()
+    cluster = _build_cluster(cfg, seed=1, obs=obs)
+    cluster.start_membership()
+
+    def setup(spec, stats, on_commit):
+        # Workers on node 3 have acquisitions in flight when the drain
+        # begins; they must wind down, not wedge the drain.
+        cluster.drain(3, at=4_000.0)
+
+    ledger, stats, done = _run_with_workers(cluster, cfg, 20_000.0, setup)
+    assert done.done()
+    assert 3 in cluster.retired
+    assert not cluster.nodes[3].alive
+    for oid in range(cfg.num_objects):
+        rep = cluster.replicas_of(oid)
+        if rep is not None:
+            assert 3 not in rep.all_nodes()
+            assert rep.owner != 3
+    audit = audit_run(cluster, ledger, initial_value=0)
+    assert audit.ok, audit.problems()
+    assert obs.registry.counter_total("rebalance.drains_completed") == 1
+
+
+def test_drain_of_directory_host_is_rejected():
+    cfg = _cfg()
+    cluster = _build_cluster(cfg, seed=0, obs=None)
+    with pytest.raises(ValueError, match="placement is frozen"):
+        cluster.drain(0)
+
+
+# ======================================================================
+# Chaos during rebalance (the satellite fault scenarios)
+# ======================================================================
+
+
+def test_donor_crash_mid_transfer_to_joiner():
+    """A base node crashes while the rebalancer is feeding the joiner:
+    movers abort, the repair pass re-replicates, audits stay clean."""
+    cfg = _cfg()
+    schedule = FaultSchedule([
+        AddNodesEvent(at_us=4_000.0, count=1),
+        CrashEvent(at_us=6_500.0, node=3),
+        RecoverEvent(at_us=15_000.0, node=3),
+    ], name="donor-crash")
+    report = run_chaos_once(schedule, seed=0, cfg=cfg)
+    assert report.ok, report.audit.problems()
+    assert report.committed > 0
+    assert any(e.startswith("add(") for e in report.timeline)
+    assert any(e.startswith("crash(") for e in report.timeline)
+
+
+def test_admission_races_unhealed_partition():
+    """A joiner is admitted while a base node is still partitioned away;
+    the heal lands later and the rebalance must still converge."""
+    cfg = _cfg()
+    schedule = FaultSchedule([
+        PartitionEvent(at_us=3_000.0, a_side=(3,), b_side=(0, 1, 2),
+                       heal_at_us=9_000.0),
+        AddNodesEvent(at_us=4_000.0, count=1),
+    ], name="admit-vs-partition")
+    report = run_chaos_once(schedule, seed=0, cfg=cfg)
+    assert report.ok, report.audit.problems()
+    assert any(e.startswith("add(") for e in report.timeline)
+    assert any(e.startswith("heal(") for e in report.timeline)
+
+
+def test_elastic_campaign_cell_is_deterministic():
+    cfg = _cfg()
+    schedule = campaign_schedule(cfg, 0)
+    r1 = run_chaos_once(schedule, seed=0, cfg=cfg)
+    r2 = run_chaos_once(schedule, seed=0, cfg=cfg)
+    assert r1.digest() == r2.digest()
+    assert r1.ok, r1.audit.problems()
+    assert any(e.startswith("add(") for e in r1.timeline)
+    assert any(e.startswith("drain(") for e in r1.timeline)
+
+
+# ======================================================================
+# Elastic schedule generator + ScheduleConfig
+# ======================================================================
+
+
+def test_elastic_generator_deterministic_and_shaped():
+    s1 = generate_elastic_schedule(4, 30_000.0, seed=5, difficulty=3)
+    s2 = generate_elastic_schedule(4, 30_000.0, seed=5, difficulty=3)
+    assert s1.signature() == s2.signature()
+    kinds = {type(e) for e in s1}
+    assert AddNodesEvent in kinds
+    assert DrainEvent in kinds
+    assert PartitionEvent in kinds  # difficulty 3 partitions the drainee
+    assert CrashEvent in kinds      # difficulty >= 2 crashes the joiner
+
+    p = generate_elastic_schedule(4, 30_000.0, seed=5, difficulty=3,
+                                  power_loss=True)
+    pkinds = {type(e) for e in p}
+    assert ClusterRestartEvent in pkinds
+    assert DrainEvent not in pkinds
+    # The cold restart revives the joiner; no paired recovery is drawn.
+    assert RecoverEvent not in pkinds
+
+
+def test_elastic_generator_requires_four_base_nodes():
+    with pytest.raises(ValueError, match=">= 4 base nodes"):
+        generate_elastic_schedule(3, 30_000.0, seed=1)
+
+
+def test_schedule_config_defaults_are_byte_identical():
+    for seed in (0, 3, 11):
+        for difficulty in (1, 2, 3):
+            a = generate_schedule(4, 30_000.0, seed=seed,
+                                  difficulty=difficulty)
+            b = generate_schedule(4, 30_000.0, seed=seed,
+                                  difficulty=difficulty,
+                                  config=ScheduleConfig())
+            assert a.signature() == b.signature()
+
+
+def test_schedule_config_moves_recover_window():
+    base = generate_schedule(4, 30_000.0, seed=0, difficulty=3,
+                             require_crash=True)
+    late = generate_schedule(4, 30_000.0, seed=0, difficulty=3,
+                             require_crash=True,
+                             config=ScheduleConfig(
+                                 recover_window=(0.90, 0.95)))
+    rec_base = [e for e in base if isinstance(e, RecoverEvent)]
+    rec_late = [e for e in late if isinstance(e, RecoverEvent)]
+    assert rec_base and rec_late
+    assert rec_late[0].at_us >= 30_000.0 * 0.90
+    assert rec_base[0].at_us <= 30_000.0 * 0.85
+
+    unpaired = generate_schedule(4, 30_000.0, seed=0, difficulty=3,
+                                 require_crash=True,
+                                 config=ScheduleConfig(pair_recovery=False))
+    assert not [e for e in unpaired if isinstance(e, RecoverEvent)]
+
+
+# ======================================================================
+# The ninth audit
+# ======================================================================
+
+
+def test_audit_reconfig_silent_without_reconfiguration():
+    cfg = CampaignConfig()
+    cluster = _build_cluster(cfg, seed=0, obs=None)
+    cluster.start_membership()
+    cluster.run(until=2_000.0)
+    assert audit_reconfig(cluster) == []
+
+
+def test_audit_reconfig_flags_missing_convergence():
+    cfg = CampaignConfig()
+    cluster = _build_cluster(cfg, seed=0, obs=None)
+    cluster.start_membership()
+    cluster.sim.call_at(1_000.0,
+                        lambda: cluster.add_nodes(1, rebalance=False))
+    cluster.run(until=30_000.0)
+    problems = audit_reconfig(cluster)
+    assert any("never reported convergence" in p for p in problems)
+
+
+# ======================================================================
+# Load balancer scale-out
+# ======================================================================
+
+
+def _make_lb(cluster, num_nodes):
+    from repro.hermes.protocol import HermesReplica
+    from repro.lb import LoadBalancer
+
+    replicas = [HermesReplica(cluster.nodes[n], (0, 1, 2))
+                for n in range(3)]
+    return LoadBalancer(replicas, num_nodes=num_nodes)
+
+
+def test_lb_grow_repins_fair_share():
+    from tests.conftest import make_cluster
+
+    cluster = make_cluster(6, objects=24)
+    lb = _make_lb(cluster, num_nodes=4)
+    keys = list(range(24))
+    for k in keys:
+        lb.repin(k, k % 4)
+    cluster.run(until=2_000)  # let the Hermes routing writes propagate
+    moved = lb.grow([4, 5], keys=keys)
+    cluster.run(until=4_000)
+    assert moved == 8  # 24 keys over 6 nodes: each joiner ends with 4
+    assert lb.num_nodes == 6
+    assert set(lb.active_nodes) == set(range(6))
+    per_node = {}
+    for k in keys:
+        per_node.setdefault(lb.lookup(k), []).append(k)
+    counts = [len(per_node.get(n, [])) for n in range(6)]
+    assert max(counts) - min(counts) <= 1
+    # Growing with already-active nodes is a no-op.
+    assert lb.grow([4, 5], keys=keys) == 0
+
+
+def test_lb_grow_without_keys_only_activates():
+    from tests.conftest import make_cluster
+
+    cluster = make_cluster(6, objects=6)
+    lb = _make_lb(cluster, num_nodes=4)
+    assert lb.grow([4]) == 0
+    assert 4 in lb.active_nodes and lb.num_nodes == 5
+
+
+# ======================================================================
+# Analyzer: rebalance-blocked attribution
+# ======================================================================
+
+
+def test_analysis_attributes_rebalance_blocked():
+    records = [
+        {"type": "span", "name": "txn", "trace": 1, "parent": None,
+         "start_us": 0.0, "end_us": 10.0, "node": 0, "tid": 0,
+         "cat": "txn", "args": {"kind": "w", "committed": True}},
+        {"type": "span", "name": "own_acquire", "trace": 1, "parent": 1,
+         "start_us": 2.0, "end_us": 8.0, "node": 0, "tid": 0,
+         "cat": "own", "args": {}},
+        # A global migration batch (no trace id) overlapping the wait.
+        {"type": "span", "name": "rebalance", "trace": None, "parent": None,
+         "start_us": 4.0, "end_us": 6.0, "node": 0, "tid": 0,
+         "cat": "rebalance", "args": {}},
+    ]
+    timelines = build_timelines(records)
+    assert len(timelines) == 1
+    seg = timelines[0].segments_ns
+    assert seg["rebalance-blocked"] == 2_000
+    assert seg["ownership-blocked"] == 4_000
+    assert sum(seg.values()) == timelines[0].duration_ns
+
+
+# ======================================================================
+# Recovery repair backoff (jittered, capped)
+# ======================================================================
+
+
+def test_repair_backoff_is_jittered_exponential_and_capped():
+    from repro.recovery.manager import _BACKOFF_CAP_US
+    from tests.conftest import make_cluster
+
+    recovery = make_cluster(3).handles[0].recovery
+    prev_hi = 0.0
+    for attempt in range(12):
+        step = min(400.0 * (2.0 ** attempt), _BACKOFF_CAP_US)
+        d = recovery._backoff_us(oid=7, attempt=attempt, base_us=400.0)
+        assert 0.5 * step <= d <= step
+        prev_hi = max(prev_hi, d)
+    assert prev_hi <= _BACKOFF_CAP_US
+    # Deterministic per (node, oid, attempt); decorrelated across oids.
+    assert (recovery._backoff_us(7, 3, 400.0)
+            == recovery._backoff_us(7, 3, 400.0))
+    assert (recovery._backoff_us(7, 3, 400.0)
+            != recovery._backoff_us(8, 3, 400.0))
