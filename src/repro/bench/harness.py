@@ -1,6 +1,6 @@
 """Bench execution: run a scenario, profile the host, emit BENCH_*.json.
 
-One bench of a scenario is up to three runs of the *same* (seed, scale)
+One bench of a scenario is up to four runs of the *same* (seed, scale)
 cell, differing only in what is observed:
 
 1. **profiled, obs off** — :class:`~repro.obs.HostProfiler` installed,
@@ -12,8 +12,12 @@ cell, differing only in what is observed:
 3. **obs on** — full :class:`~repro.obs.Tracer` + history recorder, no
    profiler.  The wall delta versus run 2 is the cost of turning
    observability on, reported under ``obs_overhead``.
+4. **obs + locality** — run 3's instruments plus the
+   :class:`~repro.obs.LocalityRecorder`; its wall delta versus run 2
+   prices the locality telemetry on top of tracing + history
+   (``obs_overhead.locality_*``).
 
-All three runs must produce the *same* deterministic outcome digest —
+All four runs must produce the *same* deterministic outcome digest —
 observation never changes what the simulation does — and the harness
 records whether they did (``obs_overhead.digest_match``).
 
@@ -30,7 +34,8 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from ..obs import HistoryRecorder, HostProfiler, Observability, Tracer
+from ..obs import (HistoryRecorder, HostProfiler, LocalityRecorder,
+                   Observability, Tracer)
 from .scenarios import Scenario, ScenarioOutcome, get_scenario
 
 __all__ = ["SCHEMA_VERSION", "bench_scenario", "bench_path", "write_bench",
@@ -100,16 +105,27 @@ def bench_scenario(name: str, seed: int = 1, scale: float = 1.0,
         # Run 3: full observability on (tracer + history), no profiler.
         obs_on = Observability(tracer=Tracer(), history=HistoryRecorder())
         obs_outcome, obs_wall = _wall_run(scenario, seed, scale, obs_on)
+        # Run 4: run 3 plus the locality recorder.
+        loc_on = Observability(tracer=Tracer(), history=HistoryRecorder(),
+                               locality=LocalityRecorder())
+        loc_outcome, loc_wall = _wall_run(scenario, seed, scale, loc_on)
         delta = obs_wall - plain_wall
+        loc_delta = loc_wall - plain_wall
         doc["obs_overhead"] = {
             "plain_wall_s": plain_wall,
             "obs_wall_s": obs_wall,
             "delta_s": delta,
             "delta_pct": (100.0 * delta / plain_wall) if plain_wall > 0 else 0.0,
-            # Observation must not change the simulation: all three runs
-            # (profiled, plain, obs-on) land on the same digest.
+            "locality_wall_s": loc_wall,
+            "locality_delta_s": loc_delta,
+            "locality_delta_pct": (100.0 * loc_delta / plain_wall
+                                   if plain_wall > 0 else 0.0),
+            # Observation must not change the simulation: all four runs
+            # (profiled, plain, obs-on, obs+locality) land on the same
+            # digest.
             "digest_match": (outcome.digest() == plain_outcome.digest()
-                             == obs_outcome.digest()),
+                             == obs_outcome.digest()
+                             == loc_outcome.digest()),
         }
     return doc
 

@@ -174,7 +174,8 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
         obs = Observability(
             registry=obs.registry if obs is not None else None,
             tracer=obs.tracer if obs is not None else None,
-            history=recorder)
+            history=recorder,
+            locality=obs.locality if obs is not None else None)
     cluster = _build_cluster(cfg, seed, obs)
     engine = ChaosEngine(cluster)
     engine.install(schedule)

@@ -177,6 +177,9 @@ class Rebalancer:
 
     def _settle(self) -> None:
         self.cluster.last_converge_at = self.sim.now
+        loc = self.cluster.obs.locality
+        if loc:
+            loc.mark("converged", self.sim.now)
         waiters, self._converge_waiters = self._converge_waiters, []
         for fut in waiters:
             if not fut.done():

@@ -12,6 +12,7 @@ the dispatch table cannot drift from the parser:
 * ``python -m repro elastic [--add K]``     — live scale-out + recovery report
 * ``python -m repro check [--seeds N]``     — strict-serializability check
 * ``python -m repro locality``              — the §8 locality analyses
+* ``python -m repro heatmap [--out F]``     — live locality telemetry
 * ``python -m repro smallbank [--remote F]``— one Zeus-vs-baseline point
 * ``python -m repro trace [--out F]``       — capture a Chrome trace
 * ``python -m repro analyze [--jsonl F]``   — critical-path latency breakdown
@@ -77,7 +78,8 @@ def _cmd_chaos(args) -> int:
         run_campaign,
         run_chaos_once,
     )
-    from ..obs import Observability, Tracer, write_chrome_trace, write_metrics
+    from ..obs import (LocalityRecorder, Observability, Tracer,
+                       write_chrome_trace, write_metrics)
     from ..sim.params import DiskParams
 
     power_loss = args.power_loss
@@ -115,6 +117,20 @@ def _cmd_chaos(args) -> int:
         print(f"wrote Chrome trace of {schedule.name} seed {cfg.seeds[0]}: "
               f"{args.trace}")
 
+    if args.locality_out:
+        # Record the first grid cell's locality telemetry on the side
+        # (seed-pure, so it reproduces the campaign's own cell exactly).
+        schedule = campaign_schedule(cfg, 0)
+        loc = LocalityRecorder()
+        run_chaos_once(schedule, cfg.seeds[0], cfg,
+                       obs=Observability(locality=loc))
+        _write_locality_json(loc, args.locality_out)
+        rep = loc.report()
+        print(f"wrote locality telemetry of {schedule.name} seed "
+              f"{cfg.seeds[0]}: {args.locality_out} (remote fraction "
+              f"{rep['totals']['remote_fraction']:.1%}, "
+              f"{rep['migrations']['handovers']} handovers)")
+
     def progress(report) -> None:
         verdict = "ok" if report.ok else "FAILED"
         print(f"  {report.schedule_name:<16} seed {report.seed}: {verdict:>6}  "
@@ -136,6 +152,154 @@ def _cmd_chaos(args) -> int:
     return 0 if result.ok else 1
 
 
+class _ElasticRig:
+    """The LB-routed locality workload shared by ``repro elastic`` and
+    ``repro heatmap``.
+
+    The paper's request path: the LB pins each key to a serving node and
+    workers access the keys routed to *their* node (plus a small remote
+    fraction), so Zeus's locality protocol keeps objects where they are
+    used.  On scale-out the LB shifts a fair share of keys onto the
+    joiners and ownership follows the new access points.  Keys are the
+    object ids themselves, which keeps LB routing and the locality
+    recorder's per-object telemetry on one key space.
+    """
+
+    def __init__(self, args, obs, wal: bool = False):
+        from ..hermes.protocol import HermesReplica
+        from ..lb import LoadBalancer
+        from ..sim.params import DiskParams, SimParams
+        from ..store.catalog import Catalog
+        from ..verify.audit import CommitLedger
+        from ..workloads.base import RunStats
+        from .zeus_cluster import ZeusCluster
+
+        self.num_nodes = args.nodes
+        self.num_objects = args.objects
+        self.threads = args.threads
+        self.remote = args.remote
+        self.seed = args.seed
+        catalog = Catalog(args.nodes, replication_degree=min(3, args.nodes))
+        catalog.add_table("counter", 64)
+        for i in range(args.objects):
+            catalog.create_object("counter", i, owner=i % args.nodes)
+        params = SimParams(
+            lease_us=1_500.0, heartbeat_us=150.0,
+            disk=DiskParams(enabled=wal),
+        ).scaled_threads(app=args.threads, worker=args.threads)
+        self.cluster = ZeusCluster(args.nodes, params=params, catalog=catalog,
+                                   seed=args.seed, obs=obs)
+        self.cluster.load(init_value=0)
+        self.cluster.start_membership()
+        self.ledger = CommitLedger()
+        replicas = [HermesReplica(self.cluster.nodes[n], (0, 1, 2))
+                    for n in range(3)]
+        self.lb = LoadBalancer(replicas, num_nodes=args.nodes,
+                               rng=self.cluster.rng.stream("lb"))
+        for i in range(args.objects):
+            self.lb.repin(i, i % args.nodes)  # match the initial owners
+        self.keys_of: dict = {}
+        # The repins above are Hermes-replicated writes: they only
+        # validate a few simulated microseconds into the run, so a t=0
+        # routing snapshot would see an empty table and every worker
+        # would fall back to uniform-random keys.  Poll until the pins
+        # have settled, then snapshot.
+        self.cluster.sim.call_at(50.0, self._settle_routing)
+        self._watch_joiners: frozenset = frozenset()
+        self.stats = RunStats()
+
+    def _settle_routing(self) -> None:
+        """Snapshot routing, re-polling while any pin is still in flight
+        (``lookup`` returns ``None`` until its replicated write VALs)."""
+        self._refresh_routing()
+        if None in self.keys_of:
+            self.cluster.sim.call_after(50.0, self._settle_routing)
+
+    def _refresh_routing(self) -> None:
+        self.keys_of.clear()
+        for i in range(self.num_objects):
+            self.keys_of.setdefault(self.lb.lookup(i), []).append(i)
+
+    def spec_fn(self, node_id: int, thread: int, rng):
+        from ..workloads.base import TxnSpec
+
+        local = self.keys_of.get(node_id)
+        if local and rng.random() >= self.remote:
+            oids = [rng.choice(local)]
+            if len(local) > 1 and rng.random() < 0.5:
+                other = rng.choice(local)
+                if other != oids[0]:
+                    oids.append(other)
+        else:
+            oids = rng.sample(range(self.num_objects), rng.randrange(1, 3))
+        if rng.random() < 0.2:
+            return TxnSpec(read_set=oids, read_only=True, exec_us=0.3)
+        return TxnSpec(write_set=oids, exec_us=0.3)
+
+    def on_commit(self, node_id: int, spec, _result) -> None:
+        if node_id in self._watch_joiners:
+            # First commit served by a joiner: the churn era (remote
+            # txns while ownership chases the re-pinned keys) starts
+            # here, well after add_nodes itself (quarantine + join
+            # barrier + first leases all have to clear first).
+            self._watch_joiners = frozenset()
+            loc = self.cluster.obs.locality
+            if loc:
+                loc.mark("joiners_serving", self.cluster.sim.now,
+                         node=node_id)
+        if not spec.read_only:
+            self.ledger.record(node_id, spec.write_set)
+
+    def start(self, stop_at: float) -> None:
+        from ..workloads.base import spawn_zeus_workers
+
+        spawn_zeus_workers(self.cluster, self.spec_fn, self.stats,
+                           stop_at=stop_at, measure_from=0.0,
+                           threads=self.threads,
+                           node_ids=list(range(self.num_nodes)),
+                           seed=self.seed, on_commit=self.on_commit)
+
+    def schedule_scale_out(self, add: int, at: float,
+                           stop_at: float) -> None:
+        from ..workloads.base import spawn_zeus_workers
+
+        def _on_added(new_ids) -> None:
+            self.lb.grow(new_ids, keys=range(self.num_objects))
+            self._settle_routing()  # re-pins VAL asynchronously too
+            self._watch_joiners = frozenset(new_ids)
+            spawn_zeus_workers(self.cluster, self.spec_fn, self.stats,
+                               stop_at=stop_at, measure_from=0.0,
+                               threads=self.threads, node_ids=new_ids,
+                               seed=self.seed + 7777,
+                               on_commit=self.on_commit)
+
+        self.cluster.on_nodes_added(_on_added)
+        self.cluster.sim.call_at(at, self.cluster.add_nodes, add)
+
+
+def _locality_fall(loc, add_at: float, stop_at: float):
+    """Remote fraction over the post-scale-out churn era vs the settled
+    tail.  The churn era starts at the joiners' first served commit (the
+    rig's ``joiners_serving`` mark — quarantine and the join barrier keep
+    them dark for a while after ``add_nodes``); each window spans a third
+    of the remaining run.  Returns ``(serving_at, churn, settled)``."""
+    serving = next((at for _label, at, _info in loc.marks("joiners_serving")
+                    if add_at <= at < stop_at), add_at)
+    span = (stop_at - serving) / 3.0
+    return (serving, loc.remote_fraction(serving, serving + span),
+            loc.remote_fraction(stop_at - span, stop_at))
+
+
+def _write_locality_json(recorder, path: str) -> None:
+    """Dump a recorder's report as deterministic (sorted, seed-pure
+    byte-identical) JSON — the placement-controller input format."""
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(recorder.report(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def _cmd_elastic(args) -> int:
     """Live scale-out: N -> N+k under load, throughput-recovery report.
 
@@ -143,89 +307,22 @@ def _cmd_elastic(args) -> int:
     ``add_nodes`` mid-traffic and keeps sampling windowed throughput while
     the joiners are quarantined, admitted, and fed by the rebalancer.
     Exit 0 requires every post-run audit to pass *and* throughput to
-    recover to within 10% of the pre-scale-out steady state.
+    recover to within 10% of the pre-scale-out steady state.  With
+    ``--locality-out`` the run also records locality telemetry and dumps
+    the recorder's JSON report (see ``repro heatmap``).
     """
-    from ..hermes.protocol import HermesReplica
-    from ..lb import LoadBalancer
-    from ..obs import Observability, write_metrics
-    from ..sim.params import DiskParams, SimParams
-    from ..store.catalog import Catalog
-    from ..verify.audit import CommitLedger, audit_run
-    from ..workloads.base import RunStats, TxnSpec, spawn_zeus_workers
-    from .zeus_cluster import ZeusCluster
+    from ..obs import LocalityRecorder, Observability, write_metrics
+    from ..verify.audit import audit_run
 
-    obs = Observability()
-    catalog = Catalog(args.nodes, replication_degree=min(3, args.nodes))
-    catalog.add_table("counter", 64)
-    for i in range(args.objects):
-        catalog.create_object("counter", i, owner=i % args.nodes)
-    params = SimParams(
-        lease_us=1_500.0, heartbeat_us=150.0,
-        disk=DiskParams(enabled=args.wal),
-    ).scaled_threads(app=args.threads, worker=args.threads)
-    cluster = ZeusCluster(args.nodes, params=params, catalog=catalog,
-                          seed=args.seed, obs=obs)
-    cluster.load(init_value=0)
-    cluster.start_membership()
-
-    ledger = CommitLedger()
-    num_objects = args.objects
-
-    # The paper's request path: the LB pins each key to a serving node and
-    # workers access the keys routed to *their* node (plus a small remote
-    # fraction), so Zeus's locality protocol keeps objects where they are
-    # used.  On scale-out the LB shifts a fair share of keys onto the
-    # joiners and ownership follows the new access points.
-    replicas = [HermesReplica(cluster.nodes[n], (0, 1, 2)) for n in range(3)]
-    lb = LoadBalancer(replicas, num_nodes=args.nodes,
-                      rng=cluster.rng.stream("lb"))
-    for i in range(num_objects):
-        lb.repin(i, i % args.nodes)  # match the catalog's initial owners
-    keys_of = {}
-
-    def _refresh_routing() -> None:
-        keys_of.clear()
-        for i in range(num_objects):
-            keys_of.setdefault(lb.lookup(i), []).append(i)
-
-    _refresh_routing()
-
-    def spec_fn(node_id: int, thread: int, rng) -> TxnSpec:
-        local = keys_of.get(node_id)
-        if local and rng.random() >= args.remote:
-            oids = [rng.choice(local)]
-            if len(local) > 1 and rng.random() < 0.5:
-                other = rng.choice(local)
-                if other != oids[0]:
-                    oids.append(other)
-        else:
-            oids = rng.sample(range(num_objects), rng.randrange(1, 3))
-        if rng.random() < 0.2:
-            return TxnSpec(read_set=oids, read_only=True, exec_us=0.3)
-        return TxnSpec(write_set=oids, exec_us=0.3)
-
-    def on_commit(node_id: int, spec: TxnSpec, _result) -> None:
-        if not spec.read_only:
-            ledger.record(node_id, spec.write_set)
+    loc = LocalityRecorder() if args.locality_out else None
+    obs = Observability(locality=loc)
+    rig = _ElasticRig(args, obs, wal=args.wal)
+    cluster, stats, ledger = rig.cluster, rig.stats, rig.ledger
 
     add_at = args.steady
     stop_at = add_at + args.after
-    stats = RunStats()
-    spawn_zeus_workers(cluster, spec_fn, stats, stop_at=stop_at,
-                       measure_from=0.0, threads=args.threads,
-                       node_ids=list(range(args.nodes)), seed=args.seed,
-                       on_commit=on_commit)
-
-    def _on_added(new_ids) -> None:
-        lb.grow(new_ids, keys=range(num_objects))
-        _refresh_routing()
-        spawn_zeus_workers(cluster, spec_fn, stats, stop_at=stop_at,
-                           measure_from=0.0, threads=args.threads,
-                           node_ids=new_ids, seed=args.seed + 7777,
-                           on_commit=on_commit)
-
-    cluster.on_nodes_added(_on_added)
-    cluster.sim.call_at(add_at, cluster.add_nodes, args.add)
+    rig.start(stop_at)
+    rig.schedule_scale_out(args.add, add_at, stop_at)
 
     window = args.window
     samples = []  # (window_end_us, committed_in_window)
@@ -282,10 +379,23 @@ def _cmd_elastic(args) -> int:
     if args.metrics_out:
         write_metrics(reg, args.metrics_out)
         print(f"  wrote metrics: {args.metrics_out}")
+    if loc:
+        serving, churn, settled = _locality_fall(loc, add_at, stop_at)
+        mig = loc.migration_summary()
+        print(f"  locality     : remote fraction {_pct(churn)} in the "
+              f"churn era (joiners serving at t={serving:.0f}us) -> "
+              f"{_pct(settled)} once settled; {mig['handovers']} "
+              f"handovers, {mig['paid_back']} paid back")
+        _write_locality_json(loc, args.locality_out)
+        print(f"  wrote locality telemetry: {args.locality_out}")
     ok = (audit.ok and done.done() and recovered_at is not None
           and final >= 0.9 * steady)
     print("verdict      :", "OK" if ok else "FAILED")
     return 0 if ok else 1
+
+
+def _pct(frac) -> str:
+    return "n/a" if frac is None else f"{frac:.1%}"
 
 
 def _cmd_check(args) -> int:
@@ -354,6 +464,15 @@ def _dump_worst_chaos_trace(cfg, result, path: str) -> None:
 
 
 def _cmd_locality(_args) -> int:
+    """The §8 *analytic* locality studies: closed-form and trace-driven
+    estimates of each workload's inherent remote fraction (mobility
+    handovers, the Venmo payment graph, TPC-C).
+
+    These analyses predict locality from the workload alone; for *live*
+    telemetry of a running cluster — per-node access heatmap, remote-txn
+    cause attribution, migration paybacks — see the ``repro heatmap``
+    sibling command.
+    """
     from ..workloads import MobilityModel, TpccAnalysis, VenmoGraph
 
     print("Boston mobility (remote handover fraction):")
@@ -368,7 +487,130 @@ def _cmd_locality(_args) -> int:
     tpcc = TpccAnalysis()
     print(f"TPC-C remote fraction (per-line convention): "
           f"{tpcc.remote_fraction(per_line=True):.2%}  (paper: 2.45%)")
+    print()
+    print("(live cluster telemetry: python -m repro heatmap)")
     return 0
+
+
+def _cmd_heatmap(args) -> int:
+    """Live locality telemetry of an LB-routed run (optionally elastic).
+
+    Runs the same workload as ``repro elastic`` with the
+    :class:`~repro.obs.LocalityRecorder` enabled and reports what it saw:
+    the per-node × object-group access heatmap, the remote-txn fraction
+    timeline with cause attribution (routing miss vs ownership migrating
+    vs genuinely shared), the hot-key table with a decayed skew estimate,
+    and the migration-effectiveness ledger (paybacks, ping-pongs).
+    ``--out`` writes the full report as seed-pure byte-identical JSON —
+    the input format for a future placement controller.  With ``--add``
+    (the default) exit 0 additionally requires the remote fraction to
+    *fall* after the scale-out's rebalance converges and at least one
+    migration to have paid for itself.
+    """
+    from ..obs import LocalityRecorder, Observability
+
+    loc = LocalityRecorder()
+    obs = Observability(locality=loc)
+    rig = _ElasticRig(args, obs)
+    cluster = rig.cluster
+
+    add_at = args.steady
+    stop_at = add_at + args.after
+    rig.start(stop_at)
+    if args.add > 0:
+        rig.schedule_scale_out(args.add, add_at, stop_at)
+    cluster.run(until=stop_at)
+    if args.add > 0:
+        done = cluster.rebalancer.converge()
+        deadline = cluster.sim.now + 4 * args.quiesce
+        while not done.done() and cluster.sim.now < deadline:
+            cluster.run(until=min(cluster.sim.now + 2_000.0, deadline))
+    cluster.run(until=cluster.sim.now + args.quiesce)
+
+    report = loc.report(groups=args.groups, top=args.top)
+    totals = report["totals"]
+    causes = totals["causes"]
+    print(f"locality telemetry: {args.nodes} nodes"
+          + (f" -> {args.nodes + args.add} at t={add_at:.0f}us"
+             if args.add > 0 else "")
+          + f", {totals['txns']} txns ({totals['committed']} committed), "
+          f"seed {args.seed}")
+    print(f"  remote       : {totals['remote']} of {totals['txns']} "
+          f"({totals['remote_fraction']:.1%}) — "
+          f"routing miss {causes['routing_miss']}, "
+          f"migrating {causes['migrating']}, shared {causes['shared']}")
+    routes = totals["routes"]
+    print(f"  lb routing   : {routes['hits']} hits, "
+          f"{routes['misses']} misses, {routes['repins']} re-pins")
+
+    heat = report["heatmap"]
+    print(f"\n  access heatmap (decayed counts, object groups of "
+          f"{heat['group_size']}):")
+    header = "    node " + "".join(f"{g:>12}" for g in heat["groups"])
+    print(header)
+    for nid, row in zip(heat["nodes"], heat["counts"]):
+        print(f"    {nid:>4} " + "".join(f"{c:>12.1f}" for c in row))
+
+    marks = {label: at for label, at, _info in report["marks"]}
+    print("\n  remote-fraction timeline:")
+    span = stop_at / 10
+    t = 0.0
+    while t < stop_at:
+        frac = loc.remote_fraction(t, t + span)
+        note = "".join(f"  <- {label}" for label, at in sorted(
+            marks.items(), key=lambda kv: kv[1]) if t <= at < t + span)
+        print(f"    {t:>9.0f}-{min(t + span, stop_at):<9.0f}us  "
+              f"{_pct(frac):>6}{note}")
+        t += span
+
+    skew = report["skew"]
+    print(f"\n  hot keys (top {args.top} of {skew['distinct_tracked']} "
+          f"tracked; top-1 share {skew['top1_share']:.1%}, "
+          f"top-10 {skew['top10_share']:.1%}):")
+    print(f"    {'oid':>6} {'total':>10} {'share':>8}  per-node")
+    for row in report["hot_keys"]:
+        per = ", ".join(f"n{n}:{c:.0f}" for n, c in row["per_node"].items())
+        print(f"    {row['oid']:>6} {row['total']:>10.1f} "
+              f"{row['share']:>8.1%}  {per}")
+
+    mig = report["migrations"]
+    print(f"\n  migrations   : {mig['handovers']} handovers, "
+          f"{mig['paid_back']} paid back"
+          + (f" (mean payback {mig['mean_payback_us']:.0f}us)"
+             if mig["mean_payback_us"] is not None else "")
+          + f", {mig['ping_pong_objects']} ping-ponging")
+    shown = [rec for rec in mig["table"] if not rec["superseded"]]
+    for rec in shown[:args.top]:
+        payback = (f"paid back in {rec['payback_us']:.0f}us"
+                   if rec["payback_us"] is not None else "not paid back")
+        print(f"    oid {rec['oid']:>4}: {rec['from']} -> {rec['to']} at "
+              f"t={rec['at_us']:.0f}us, {rec['at_new_owner']} accesses at "
+              f"new owner vs {rec['elsewhere']} elsewhere — {payback}")
+    for pp in mig["ping_pongs"][:args.top]:
+        print(f"    PING-PONG oid {pp['oid']}: "
+              f"{pp['handovers_in_window']} handovers within the window")
+
+    if args.out:
+        _write_locality_json(loc, args.out)
+        print(f"\n  wrote locality report: {args.out}")
+
+    ok = bool(report["hot_keys"])
+    if not ok:
+        print("\n  FAILED: hot-key table is empty (no accesses recorded)")
+    if args.add > 0:
+        serving, churn, settled = _locality_fall(loc, add_at, stop_at)
+        fell = churn is not None and settled is not None and settled < churn
+        print(f"\n  scale-out    : remote fraction {_pct(churn)} while "
+              f"ownership chases the re-pinned keys (joiners serving at "
+              f"t={serving:.0f}us) -> {_pct(settled)} once settled "
+              f"({'fell' if fell else 'DID NOT FALL'})")
+        if not fell:
+            ok = False
+        if mig["paid_back"] < 1:
+            print("  FAILED: no migration payback computed")
+            ok = False
+    print("\nverdict      :", "OK" if ok else "FAILED")
+    return 0 if ok else 1
 
 
 def _cmd_smallbank(args) -> int:
@@ -554,7 +796,9 @@ def _cmd_bench(args) -> int:
                 "OUTCOME DIGESTS DIVERGED"
             print(f"  obs overhead: {oo['plain_wall_s']:.2f}s plain -> "
                   f"{oo['obs_wall_s']:.2f}s with tracing+history "
-                  f"(+{oo['delta_pct']:.0f}%), {match}")
+                  f"(+{oo['delta_pct']:.0f}%) -> "
+                  f"{oo['locality_wall_s']:.2f}s with +locality "
+                  f"(+{oo['locality_delta_pct']:.0f}%), {match}")
         if not args.dry_run:
             path = write_bench(doc, out_dir=args.out_dir)
             print(f"  wrote {path}")
@@ -648,6 +892,10 @@ def _args_chaos(p: argparse.ArgumentParser) -> None:
                    dest="trace_out",
                    help="re-run the worst-audit cell traced and dump its "
                         "spans as JSONL (for `repro analyze`)")
+    p.add_argument("--locality-out", metavar="FILE", default=None,
+                   dest="locality_out",
+                   help="run the first cell with the locality recorder and "
+                        "dump its JSON report (see `repro heatmap`)")
 
 
 def _args_elastic(p: argparse.ArgumentParser) -> None:
@@ -679,6 +927,44 @@ def _args_elastic(p: argparse.ArgumentParser) -> None:
     p.add_argument("--metrics-out", metavar="FILE", default=None,
                    help="dump the metrics snapshot (rebalance.* included) "
                         "as JSON")
+    p.add_argument("--locality-out", metavar="FILE", default=None,
+                   dest="locality_out",
+                   help="record locality telemetry during the run and dump "
+                        "the recorder's JSON report (see `repro heatmap`)")
+
+
+def _args_heatmap(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--nodes", type=int, default=4,
+                   help="base cluster size (default %(default)s)")
+    p.add_argument("--add", type=int, default=2,
+                   help="nodes to add mid-run; 0 = no scale-out "
+                        "(default %(default)s)")
+    p.add_argument("--objects", type=int, default=48,
+                   help="counter objects (default %(default)s)")
+    p.add_argument("--threads", type=int, default=2,
+                   help="app threads per node (default %(default)s)")
+    p.add_argument("--remote", type=float, default=0.05,
+                   help="fraction of transactions touching keys routed to "
+                        "other nodes (default %(default)s)")
+    p.add_argument("--steady", type=float, default=20_000.0,
+                   help="steady-state window before the add, in us "
+                        "(default %(default)s)")
+    p.add_argument("--after", type=float, default=40_000.0,
+                   help="measured window after the add, in us "
+                        "(default %(default)s)")
+    p.add_argument("--quiesce", type=float, default=30_000.0,
+                   help="drain window after traffic stops "
+                        "(default %(default)s)")
+    p.add_argument("--groups", type=int, default=8,
+                   help="object groups across the heatmap "
+                        "(default %(default)s)")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the hot-key/migration tables "
+                        "(default %(default)s)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the full report as deterministic JSON "
+                        "(placement-controller input)")
 
 
 def _args_check(p: argparse.ArgumentParser) -> None:
@@ -771,7 +1057,10 @@ COMMANDS = [
      _args_elastic, _cmd_elastic),
     ("check", "strict-serializability check over seeded runs",
      _args_check, _cmd_check),
-    ("locality", "§8 locality analyses", None, _cmd_locality),
+    ("locality", "§8 analytic locality studies (live sibling: heatmap)",
+     None, _cmd_locality),
+    ("heatmap", "live locality telemetry: heatmap, remote-txn attribution, "
+     "migration ledger", _args_heatmap, _cmd_heatmap),
     ("smallbank", "one Zeus-vs-FaSST point", _args_smallbank, _cmd_smallbank),
     ("trace", "capture a Chrome trace of a short SmallBank mix",
      _args_trace, _cmd_trace),

@@ -262,6 +262,9 @@ class ZeusCluster:
             self.membership.register(handle.node)
             self.membership.join(nid)
         self.failures.note_added(new_ids)
+        loc = self.obs.locality
+        if loc:
+            loc.mark("add_nodes", self.sim.now, nodes=list(new_ids))
         for fn in self._nodes_added_listeners:
             fn(new_ids)
         if rebalance:

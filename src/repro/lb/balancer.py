@@ -52,10 +52,12 @@ class LoadBalancer:
         self.placement = placement or (lambda key: self.rng.randrange(self.num_nodes))
         #: Nodes currently accepting new keys (scale-in/out experiments).
         self.active_nodes: List[NodeId] = list(range(num_nodes))
-        registry = replicas[0].node.obs.registry
-        self.counters = registry.group("lb")
+        self.obs = replicas[0].node.obs
+        self.sim = replicas[0].node.sim
+        self.counters = self.obs.registry.group("lb")
         self.counters.inc("hits", 0)
         self.counters.inc("misses", 0)
+        self.counters.inc("repins", 0)
 
     # ------------------------------------------------------------ table mode
 
@@ -66,20 +68,29 @@ class LoadBalancer:
         key and writes the mapping through Hermes.
         """
         replica = self.replicas[0]
+        loc = self.obs.locality
         dest = replica.read(key)
         if dest is not None and dest in self.active_nodes:
             self.counters.inc("hits")
+            if loc:
+                loc.on_route(key, dest, True, self.sim.now)
             return dest
         self.counters.inc("misses")
         dest = self.placement(key)
         if dest not in self.active_nodes:
             dest = self.rng.choice(self.active_nodes)
         replica.write(key, dest)
+        if loc:
+            loc.on_route(key, dest, False, self.sim.now)
         return dest
 
     def repin(self, key: Any, node: NodeId) -> None:
         """Explicitly re-route a key (locality shift / load spreading)."""
         self.replicas[0].write(key, node)
+        self.counters.inc("repins")
+        loc = self.obs.locality
+        if loc:
+            loc.on_repin(key, node, self.sim.now)
 
     def lookup(self, key: Any) -> Optional[NodeId]:
         return self.replicas[0].read(key)
@@ -95,16 +106,21 @@ class LoadBalancer:
         forwarding hop.
         """
         replica = self.by_node.get(ingress_node, self.replicas[0])
+        loc = self.obs.locality
         yield 0.3  # key extraction + table lookup CPU
         dest = replica.read(key)
         if dest is not None and dest in self.active_nodes:
             self.counters.inc("hits")
+            if loc:
+                loc.on_route(key, dest, True, self.sim.now)
             return dest
         self.counters.inc("misses")
         dest = self.placement(key)
         if dest not in self.active_nodes:
             dest = self.rng.choice(self.active_nodes)
         yield replica.write(key, dest)  # replicated write-through
+        if loc:
+            loc.on_route(key, dest, False, self.sim.now)
         return dest
 
     # ------------------------------------------------------------- scaling
@@ -152,8 +168,7 @@ class LoadBalancer:
         for joiner in joiners:
             take = max(0, target - len(pinned[joiner]))
             for key in surplus[:take]:
-                self.repin(key, joiner)
+                self.repin(key, joiner)  # repin() counts lb.repins
                 moved += 1
             surplus = surplus[take:]
-        self.counters.inc("repins", moved)
         return moved

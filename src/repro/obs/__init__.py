@@ -31,6 +31,13 @@ from .history import (
     HistoryRecorder,
     NullHistoryRecorder,
 )
+from .locality import (
+    NULL_LOCALITY,
+    LocalityOp,
+    LocalityRecorder,
+    NullLocalityRecorder,
+    SpaceSaving,
+)
 from .profile import (
     NULL_PROFILER,
     HostProfiler,
@@ -73,6 +80,11 @@ __all__ = [
     "HistoryRecorder",
     "NullHistoryRecorder",
     "NULL_HISTORY",
+    "LocalityOp",
+    "LocalityRecorder",
+    "NullLocalityRecorder",
+    "NULL_LOCALITY",
+    "SpaceSaving",
     "HostProfiler",
     "NullHostProfiler",
     "NULL_PROFILER",

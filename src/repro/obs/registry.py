@@ -23,6 +23,7 @@ from collections.abc import Mapping
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .history import NULL_HISTORY
+from .locality import NULL_LOCALITY
 from .profile import NULL_PROFILER
 from .stats import percentile
 from .trace import NULL_TRACER
@@ -307,21 +308,24 @@ class MetricsRegistry:
 
 
 class Observability:
-    """A registry, tracer, history recorder, and host profiler for the
-    whole stack.
+    """A registry, tracer, history recorder, host profiler, and locality
+    recorder for the whole stack.
 
     The default tracer is the no-op :data:`~repro.obs.trace.NULL_TRACER`
     (falsy, records nothing), the default history recorder the no-op
-    :data:`~repro.obs.history.NULL_HISTORY`, and the default host
-    profiler the no-op :data:`~repro.obs.profile.NULL_PROFILER`; the
-    registry is always live.
+    :data:`~repro.obs.history.NULL_HISTORY`, the default host profiler
+    the no-op :data:`~repro.obs.profile.NULL_PROFILER`, and the default
+    locality recorder the no-op
+    :data:`~repro.obs.locality.NULL_LOCALITY`; the registry is always
+    live.
     """
 
-    __slots__ = ("registry", "tracer", "history", "profiler")
+    __slots__ = ("registry", "tracer", "history", "profiler", "locality")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
-                 tracer=None, history=None, profiler=None):
+                 tracer=None, history=None, profiler=None, locality=None):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.history = history if history is not None else NULL_HISTORY
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.locality = locality if locality is not None else NULL_LOCALITY

@@ -779,6 +779,13 @@ class OwnershipManager(LifecycleMixin):
             entry.o_ts = inv.o_ts
             entry.o_state = OState.VALID
             self._log_dir(oid, entry)
+            loc = self.node.obs.locality
+            if loc and inv.req_type == ReqType.ACQUIRE_OWNER:
+                # Settled ownership handover: feed the migration ledger.
+                # Every directory host reports it; the recorder dedups on
+                # the (monotonic per-object) o_ts version.
+                loc.on_handover(oid, inv.prev_replicas.owner, replicas.owner,
+                                inv.o_ts.obj_ver, self.sim.now)
         self._sync_absent_dir_hosts(inv)
 
         obj = self.store.get(oid)

@@ -98,6 +98,8 @@ class ZeusAPI:
         hist = self.node.obs.history
         hop = (hist.begin(self.node.node_id, thread, "write", start)
                if hist else None)
+        loc = self.node.obs.locality
+        lop = loc.begin(self.node.node_id, thread, start) if loc else None
         # Each logical transaction roots a fresh trace; everything it
         # causes — acquires, remote arbitration, replication — links back.
         tspan = (tracer.begin("txn", pid=self.node.node_id, tid=thread,
@@ -112,6 +114,9 @@ class ZeusAPI:
             result.latency_us = self.node.sim.now - start
             if hist:
                 hist.respond(hop, True, self.node.sim.now)
+            if loc:
+                loc.commit_txn(lop, write_set, read_set, True,
+                               self.node.sim.now)
             if tspan is not None:
                 tracer.end(tspan, committed=True, fast=True)
             return result
@@ -120,6 +125,7 @@ class ZeusAPI:
             txn = self.tr_create(thread)
             txn.ctx = tctx
             txn.hop = hop
+            txn.lop = lop
             espan = (tracer.begin("execute", pid=self.node.node_id,
                                   tid=thread, cat="txn", ctx=tctx,
                                   attempt=_attempt)
@@ -153,6 +159,9 @@ class ZeusAPI:
         result.latency_us = self.node.sim.now - start
         if hist:
             hist.respond(hop, result.committed, self.node.sim.now)
+        if loc:
+            loc.commit_txn(lop, write_set, read_set, result.committed,
+                           self.node.sim.now)
         if tspan is not None:
             tracer.end(tspan, committed=result.committed,
                        aborts=result.aborts)
@@ -171,6 +180,8 @@ class ZeusAPI:
         hist = self.node.obs.history
         hop = (hist.begin(self.node.node_id, thread, "read", start)
                if hist else None)
+        loc = self.node.obs.locality
+        lop = loc.begin(self.node.node_id, thread, start) if loc else None
         tspan = (tracer.begin("txn", pid=self.node.node_id, tid=thread,
                               cat="txn", ctx=(tracer.new_trace(), None),
                               kind="read") if tracer else None)
@@ -182,6 +193,8 @@ class ZeusAPI:
             result.latency_us = self.node.sim.now - start
             if hist:
                 hist.respond(hop, True, self.node.sim.now)
+            if loc:
+                loc.commit_txn(lop, (), read_set, True, self.node.sim.now)
             if tspan is not None:
                 tracer.end(tspan, committed=True, fast=True)
             return result
@@ -190,6 +203,7 @@ class ZeusAPI:
             txn = self.tr_r_create(thread)
             txn.ctx = tctx
             txn.hop = hop
+            txn.lop = lop
             espan = (tracer.begin("execute", pid=self.node.node_id,
                                   tid=thread, cat="txn", ctx=tctx,
                                   attempt=_attempt)
@@ -220,6 +234,9 @@ class ZeusAPI:
         result.latency_us = self.node.sim.now - start
         if hist:
             hist.respond(hop, result.committed, self.node.sim.now)
+        if loc:
+            loc.commit_txn(lop, (), read_set, result.committed,
+                           self.node.sim.now)
         if tspan is not None:
             tracer.end(tspan, committed=result.committed,
                        aborts=result.aborts)

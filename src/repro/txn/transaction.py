@@ -57,7 +57,8 @@ class TxnStats:
 
 class _TxnBase:
     __slots__ = ("node", "store", "catalog", "ownership", "commit_mgr",
-                 "thread", "params", "stats", "ctx", "hop", "_h_reads")
+                 "thread", "params", "stats", "ctx", "hop", "lop",
+                 "_h_reads")
 
     def __init__(self, node, store: ObjectStore, catalog: Catalog,
                  ownership: OwnershipManager, commit_mgr: CommitManager,
@@ -79,6 +80,11 @@ class _TxnBase:
         #: attempt and only flushed at commit, so aborted attempts leave
         #: no trace in the client-observable history.
         self.hop = None
+        #: Locality op of the enclosing logical transaction (set by the
+        #: API layer when the locality recorder is on); granted ownership
+        #: acquisitions are appended so commit-time classification knows
+        #: which objects made this transaction remote.
+        self.lop = None
         self._h_reads: List[Tuple[ObjectId, int, float]] = []
 
 
@@ -238,6 +244,8 @@ class Transaction(_TxnBase):
                 oid, ReqType.ACQUIRE_OWNER, thread=self.thread, ctx=self.ctx)
             if outcome.granted:
                 self.stats.acquired_objects += 1
+                if self.lop is not None:
+                    self.node.obs.locality.acquired(self.lop, oid, "owner")
                 continue  # re-check level (coalesced requests may differ)
             self._abort_now(AbortReason.OWNERSHIP_DENIED)
         self._abort_now(AbortReason.OWNERSHIP_DENIED)
@@ -253,6 +261,8 @@ class Transaction(_TxnBase):
                 oid, ReqType.ADD_READER, thread=self.thread, ctx=self.ctx)
             if outcome.granted:
                 self.stats.acquired_objects += 1
+                if self.lop is not None:
+                    self.node.obs.locality.acquired(self.lop, oid, "reader")
                 continue
             self._abort_now(AbortReason.OWNERSHIP_DENIED)
         self._abort_now(AbortReason.OWNERSHIP_DENIED)
@@ -284,6 +294,8 @@ class ReadOnlyTransaction(_TxnBase):
                 oid, ReqType.ADD_READER, thread=self.thread, ctx=self.ctx)
             if not outcome.granted:
                 raise TxnAborted(AbortReason.OWNERSHIP_DENIED)
+            if self.lop is not None:
+                self.node.obs.locality.acquired(self.lop, oid, "reader")
             obj = self.store.get(oid)
             if obj is None:
                 raise TxnAborted(AbortReason.OWNERSHIP_DENIED)

@@ -125,7 +125,8 @@ def test_bench_schema(bench_doc):
                                "machine"}
     oo = doc["obs_overhead"]
     assert set(oo) == {"plain_wall_s", "obs_wall_s", "delta_s", "delta_pct",
-                       "digest_match"}
+                       "locality_wall_s", "locality_delta_s",
+                       "locality_delta_pct", "digest_match"}
     # Observation must not change simulation outcomes.
     assert oo["digest_match"] is True
 
@@ -226,8 +227,8 @@ def test_write_bench_path(tmp_path, bench_doc):
 def test_cli_registry_covers_all_commands():
     names = [name for name, _, _, _ in COMMANDS]
     assert names == ["quickstart", "verify", "chaos", "elastic", "check",
-                     "locality", "smallbank", "trace", "analyze", "bench",
-                     "list"]
+                     "locality", "heatmap", "smallbank", "trace", "analyze",
+                     "bench", "list"]
     assert len(set(names)) == len(names)
     for _, help_line, _, handler in COMMANDS:
         assert help_line and callable(handler)

@@ -1,0 +1,363 @@
+"""Locality telemetry: the Space-Saving access sketch, remote-txn cause
+attribution, the migration-effectiveness ledger, and the ``repro
+heatmap`` CLI.
+
+Covers the recorder's contract with the rest of the stack — falsy
+sentinel, zero behavioural footprint when enabled (same commits, same
+outcome, recorder on or off), bounded memory under adversarial key
+streams, and seed-pure byte-identical JSON reports.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.harness.runner import _ElasticRig, _args_heatmap, main
+from repro.obs import (
+    NULL_LOCALITY,
+    LocalityRecorder,
+    Observability,
+    SpaceSaving,
+)
+from repro.obs.locality import (
+    CAUSE_MIGRATING,
+    CAUSE_ROUTING_MISS,
+    CAUSE_SHARED,
+)
+
+# ---------------------------------------------------------------------------
+# Space-Saving sketch
+
+
+def test_space_saving_bounded_under_adversarial_stream():
+    sk = SpaceSaving(capacity=8, half_life_us=0.0)
+    for i in range(1000):
+        sk.add(f"k{i}", now=0.0)
+    assert len(sk) <= 8
+    assert sk.evictions == 1000 - 8
+    assert len(sk.top(3)) == 3
+
+
+def test_space_saving_newcomer_inherits_min_count():
+    sk = SpaceSaving(capacity=2)
+    sk.add("b", 0.0)
+    sk.add("a", 0.0)
+    sk.add("c", 0.0)  # evicts "a" (count tie broken on smallest key)
+    assert "a" not in sk.counts
+    assert sk.get("c") == 2.0  # floor 1 + its own arrival
+    assert sk.errors["c"] == 1.0
+    assert sk.get("b") == 1.0
+
+
+def test_space_saving_half_life_decay():
+    sk = SpaceSaving(capacity=8, half_life_us=1_000.0)
+    for _ in range(4):
+        sk.add("a", 0.0)
+    sk.add("b", 2_500.0)  # two whole steps elapsed: a: 4 -> 1
+    assert sk.get("a") == 1.0
+    sk.decay_to(3_500.0)  # one more step: a 0.5 (kept), b 0.5 (kept)
+    assert sk.get("a") == 0.5
+    assert sk.get("b") == 0.5
+    sk.decay_to(4_500.0)  # below 0.5: both dropped
+    assert len(sk) == 0
+
+
+def test_space_saving_deterministic():
+    def run():
+        sk = SpaceSaving(capacity=4, half_life_us=500.0)
+        for i in range(100):
+            sk.add(i % 7, now=float(i * 40))
+        return dict(sk.counts)
+
+    assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# Remote-txn classification
+
+
+def _local_access(rec, node, oid, now):
+    """One committed local txn (no acquisitions) touching ``oid``."""
+    op = rec.begin(node, 0, now)
+    rec.commit_txn(op, [oid], [], True, now)
+
+
+def test_classify_routing_miss_without_evidence():
+    rec = LocalityRecorder()
+    op = rec.begin(1, 0, 100.0)
+    rec.acquired(op, 42, "owner")
+    rec.commit_txn(op, [42], [], True, 110.0)
+    assert rec.remote_txns == 1
+    assert rec.cause_counts[CAUSE_ROUTING_MISS] == 1
+
+
+def test_classify_shared_when_two_nodes_split_an_object():
+    rec = LocalityRecorder()
+    for i in range(5):
+        _local_access(rec, 0, 7, float(i))
+        _local_access(rec, 1, 7, float(i))
+    op = rec.begin(0, 0, 200.0)
+    rec.acquired(op, 7, "owner")
+    rec.commit_txn(op, [7], [], True, 210.0)
+    assert rec.cause_counts[CAUSE_SHARED] == 1
+
+
+def test_classify_migrating_after_recent_handover():
+    rec = LocalityRecorder()
+    rec.on_handover(9, 1, 2, version=1, now=500.0)
+    op = rec.begin(2, 0, 600.0)  # handover strictly before txn start
+    rec.acquired(op, 9, "owner")
+    rec.commit_txn(op, [9], [], True, 650.0)
+    assert rec.cause_counts[CAUSE_MIGRATING] == 1
+
+
+def test_own_handover_does_not_count_as_migrating():
+    rec = LocalityRecorder()
+    op = rec.begin(2, 0, 400.0)
+    rec.acquired(op, 9, "owner")
+    rec.on_handover(9, 1, 2, version=1, now=500.0)  # this txn's own move
+    rec.commit_txn(op, [9], [], True, 550.0)
+    assert rec.cause_counts[CAUSE_MIGRATING] == 0
+    assert rec.cause_counts[CAUSE_ROUTING_MISS] == 1
+
+
+def test_classify_migrating_after_lb_repin_toward_this_node():
+    rec = LocalityRecorder()
+    rec.on_repin(5, node=3, now=1_000.0)
+    op = rec.begin(3, 0, 2_000.0)
+    rec.acquired(op, 5, "owner")
+    rec.commit_txn(op, [5], [], True, 2_010.0)
+    assert rec.cause_counts[CAUSE_MIGRATING] == 1
+    # A repin toward a *different* node explains nothing for this one.
+    op = rec.begin(4, 0, 2_100.0)
+    rec.acquired(op, 6, "owner")
+    rec.commit_txn(op, [6], [], True, 2_110.0)
+    assert rec.cause_counts[CAUSE_ROUTING_MISS] == 1
+
+
+def test_classify_migrating_when_acquirer_already_dominates():
+    rec = LocalityRecorder()
+    for i in range(6):
+        _local_access(rec, 2, 11, float(i))
+    op = rec.begin(2, 0, 50.0)  # ownership lags the access pattern
+    rec.acquired(op, 11, "owner")
+    rec.commit_txn(op, [11], [], True, 60.0)
+    assert rec.cause_counts[CAUSE_MIGRATING] == 1
+
+
+def test_remote_fraction_windows_and_timeline():
+    rec = LocalityRecorder(bin_us=100.0)
+    _local_access(rec, 0, 1, 50.0)
+    op = rec.begin(1, 0, 150.0)
+    rec.acquired(op, 1, "owner")
+    rec.commit_txn(op, [1], [], True, 160.0)
+    assert rec.remote_fraction() == 0.5
+    assert rec.remote_fraction(0.0, 100.0) == 0.0
+    assert rec.remote_fraction(100.0, 200.0) == 1.0
+    assert rec.remote_fraction(500.0, 600.0) is None
+    assert rec.remote_fraction_timeline() == [(0.0, 1, 0), (100.0, 0, 1)]
+
+
+# ---------------------------------------------------------------------------
+# Migration-effectiveness ledger
+
+
+def test_payback_and_elsewhere_tallies():
+    rec = LocalityRecorder(payback_accesses=2)
+    rec.on_handover(3, 0, 1, version=1, now=100.0)
+    _local_access(rec, 1, 3, 200.0)
+    _local_access(rec, 0, 3, 250.0)  # an access *not* at the new owner
+    assert rec.migration_summary()["paid_back"] == 0
+    _local_access(rec, 1, 3, 300.0)  # second access at the new owner
+    summary = rec.migration_summary()
+    assert summary["paid_back"] == 1
+    assert summary["mean_payback_us"] == 200.0
+    (row,) = rec.migration_table()
+    assert row["at_new_owner"] == 2
+    assert row["elsewhere"] == 1
+    assert row["payback_us"] == 200.0
+
+
+def test_handover_supersede_and_version_dedup():
+    rec = LocalityRecorder()
+    rec.on_handover(3, 0, 1, version=7, now=100.0)
+    rec.on_handover(3, 0, 1, version=7, now=120.0)  # dup from 2nd dir host
+    assert rec.handovers == 1
+    rec.on_handover(3, 1, 0, version=8, now=200.0)
+    assert rec.handovers == 2
+    first, second = rec.migration_table()
+    assert first["superseded"] is True
+    assert second["superseded"] is False
+    rec.on_handover(4, 2, 2, version=1, now=300.0)  # no-op move
+    assert rec.handovers == 2
+
+
+def test_ping_pong_detection():
+    rec = LocalityRecorder(pingpong_k=3, pingpong_window_us=10_000.0)
+    rec.on_handover(7, 0, 1, version=1, now=0.0)
+    rec.on_handover(7, 1, 0, version=2, now=100.0)
+    assert rec.ping_pongs() == []
+    rec.on_handover(7, 0, 1, version=3, now=200.0)
+    assert rec.ping_pongs() == [{"oid": 7, "handovers_in_window": 3}]
+    # Bounces further apart than the window never qualify.
+    rec.on_handover(8, 0, 1, version=1, now=0.0)
+    rec.on_handover(8, 1, 0, version=2, now=20_000.0)
+    rec.on_handover(8, 0, 1, version=3, now=40_000.0)
+    assert all(p["oid"] != 8 for p in rec.ping_pongs())
+
+
+def test_handover_ledger_overflow_is_bounded():
+    rec = LocalityRecorder(max_handovers=2)
+    for v in range(5):
+        rec.on_handover(v, 0, 1, version=1, now=float(v))
+    summary = rec.migration_summary()
+    assert summary["handovers"] == 5
+    assert summary["recorded"] == 2
+    assert summary["overflow"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Falsy sentinel and registry wiring
+
+
+def test_null_locality_is_falsy_noop():
+    assert not NULL_LOCALITY
+    assert NULL_LOCALITY.report() == {}
+    assert NULL_LOCALITY.marks() == []
+    op = NULL_LOCALITY.begin(0, 0, 0.0)
+    NULL_LOCALITY.acquired(op, 1, "owner")
+    NULL_LOCALITY.commit_txn(op, [1], [], True, 1.0)
+    NULL_LOCALITY.on_handover(1, 0, 1, 1, 1.0)
+    NULL_LOCALITY.on_route(1, 0, True, 1.0)
+    NULL_LOCALITY.on_repin(1, 0, 1.0)
+    NULL_LOCALITY.mark("x", 1.0)
+
+
+def test_observability_defaults_to_null_locality():
+    assert Observability().locality is NULL_LOCALITY
+    loc = LocalityRecorder()
+    assert Observability(locality=loc).locality is loc
+    assert bool(loc)
+
+
+# ---------------------------------------------------------------------------
+# Recorder on == recorder off (outcome identity) on a live cluster
+
+
+def _rig_args(**overrides):
+    p = argparse.ArgumentParser()
+    _args_heatmap(p)
+    args = p.parse_args([])
+    args.nodes, args.add, args.objects, args.threads = 3, 0, 24, 2
+    args.seed = 5
+    for k, v in overrides.items():
+        setattr(args, k, v)
+    return args
+
+
+def _run_rig(obs, stop_at=6_000.0, **overrides):
+    rig = _ElasticRig(_rig_args(**overrides), obs)
+    rig.start(stop_at)
+    rig.cluster.run(until=stop_at + 3_000.0)
+    return rig
+
+
+def test_recorder_does_not_change_the_run():
+    bare = _run_rig(Observability())
+    loc = LocalityRecorder()
+    observed = _run_rig(Observability(locality=loc))
+    for field in ("committed", "aborted_txns", "retries",
+                  "ownership_requests", "objects_acquired"):
+        assert getattr(bare.stats, field) == getattr(observed.stats, field)
+    assert bare.cluster.sim.now == observed.cluster.sim.now
+    assert loc.txns == loc.committed + (loc.txns - loc.committed)
+    assert loc.txns > 0
+
+
+def test_same_seed_same_report():
+    reports = []
+    for _ in range(2):
+        loc = LocalityRecorder()
+        _run_rig(Observability(locality=loc))
+        reports.append(json.dumps(loc.report(), sort_keys=True))
+    assert reports[0] == reports[1]
+
+
+def test_lb_repins_counted():
+    loc = LocalityRecorder()
+    rig = _run_rig(Observability(locality=loc))
+    reg = rig.cluster.obs.registry
+    assert reg.counter_total("lb.repins") >= rig.num_objects
+    assert loc.route_repins == reg.counter_total("lb.repins")
+
+
+def test_lb_routing_feeds_recorder_and_metrics():
+    from repro.harness.zeus_cluster import ZeusCluster
+    from repro.hermes.protocol import HermesReplica
+    from repro.lb.balancer import LoadBalancer
+    from tests.conftest import make_catalog
+
+    loc = LocalityRecorder()
+    cluster = ZeusCluster(3, catalog=make_catalog(3),
+                          obs=Observability(locality=loc))
+    cluster.load(init_value=0)
+    replicas = [HermesReplica(cluster.nodes[n], (0, 1, 2)) for n in range(3)]
+    lb = LoadBalancer(replicas, num_nodes=3)
+    lb.route("k1")          # miss: first sighting pins the key
+    cluster.run(until=5_000.0)
+    lb.route("k1")          # hit: sticky routing
+    lb.repin("k1", 2)
+    reg = cluster.obs.registry
+    assert loc.route_hits == reg.counter_total("lb.hits") == 1
+    assert loc.route_misses == reg.counter_total("lb.misses") == 1
+    assert loc.route_repins == reg.counter_total("lb.repins") == 1
+
+
+def test_scale_out_marks_and_payback():
+    loc = LocalityRecorder()
+    rig = _ElasticRig(_rig_args(add=1), Observability(locality=loc))
+    stop_at = 18_000.0
+    rig.start(stop_at)
+    rig.schedule_scale_out(1, 6_000.0, stop_at)
+    rig.cluster.run(until=stop_at)
+    done = rig.cluster.rebalancer.converge()
+    deadline = rig.cluster.sim.now + 30_000.0
+    while not done.done() and rig.cluster.sim.now < deadline:
+        rig.cluster.run(until=rig.cluster.sim.now + 2_000.0)
+    assert loc.marks("add_nodes")
+    assert loc.marks("joiners_serving")
+    assert loc.marks("converged")
+    assert loc.migration_summary()["paid_back"] >= 1
+    serving = loc.marks("joiners_serving")[0][1]
+    assert serving > 6_000.0  # joiners go live after the add, not at it
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_heatmap_cli_byte_identical_json(tmp_path, capsys):
+    argv = ["heatmap", "--nodes", "3", "--add", "0", "--objects", "24",
+            "--steady", "6000", "--after", "0", "--quiesce", "3000",
+            "--seed", "5"]
+    paths = [tmp_path / "a.json", tmp_path / "b.json"]
+    for path in paths:
+        assert main(argv + ["--out", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "access heatmap" in out
+    assert "hot keys" in out
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+    doc = json.loads(paths[0].read_text())
+    assert doc["schema_version"] == 1
+    assert doc["totals"]["txns"] > 0
+    assert doc["hot_keys"]
+    assert doc["totals"]["routes"]["repins"] >= 24
+
+
+def test_heatmap_cli_rejects_empty_run(capsys):
+    rc = main(["heatmap", "--nodes", "3", "--add", "0", "--objects", "24",
+               "--steady", "0", "--after", "0", "--quiesce", "0",
+               "--seed", "5"])
+    assert rc == 1
+    assert "hot-key table is empty" in capsys.readouterr().out
