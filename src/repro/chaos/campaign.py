@@ -76,6 +76,11 @@ class CampaignConfig:
     elastic: bool = False
     #: How many nodes each elastic schedule adds.
     elastic_add: int = 2
+    #: Run every cell with the adaptive placement controller live (a
+    #: per-run locality recorder is attached to feed it).  The controller
+    #: is stopped before the final convergence + quiesce, so the audits
+    #: judge a state it no longer perturbs.
+    placement: bool = False
 
 
 @dataclass
@@ -176,10 +181,23 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
             tracer=obs.tracer if obs is not None else None,
             history=recorder,
             locality=obs.locality if obs is not None else None)
+    if cfg.placement and (obs is None or not obs.locality):
+        # The controller is blind without telemetry: layer a per-run
+        # locality recorder the same way check_history layers histories.
+        from ..obs import LocalityRecorder
+        obs = Observability(
+            registry=obs.registry if obs is not None else None,
+            tracer=obs.tracer if obs is not None else None,
+            history=obs.history if obs is not None else None,
+            locality=LocalityRecorder())
     cluster = _build_cluster(cfg, seed, obs)
     engine = ChaosEngine(cluster)
     engine.install(schedule)
     cluster.start_membership()
+    controller = None
+    if cfg.placement:
+        controller = cluster.placement
+        controller.start()
 
     ledger = CommitLedger()
     num_objects = cfg.num_objects
@@ -224,6 +242,19 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
                                   on_commit=on_commit)
         stats.committed += wave2.committed
         stats.aborted_txns += wave2.aborted_txns
+    if controller is not None:
+        # Stop actuating before convergence: the reconfig audit's balance
+        # clause judges the post-converge spread, which must not be
+        # re-skewed by a placement move issued after leveling.
+        controller.stop()
+    # Drain: retransmissions, probes across healed partitions, failure
+    # detection, commit replay, arb-replay AND the tail of in-flight
+    # application transactions all finish in this window.  This runs
+    # *before* the converge wait — a transaction between ownership-retry
+    # attempts holds no pending request, slips past the rebalancer's
+    # quiet check, and its next acquisition would re-skew a balance the
+    # rebalancer already declared.
+    cluster.run(until=cluster.sim.now + cfg.quiesce_us)
     if schedule.has_elastic:
         # Let the rebalancer finish before the audit: converge() resolves
         # once ownership is balanced across the final membership and every
@@ -233,9 +264,6 @@ def run_chaos_once(schedule: FaultSchedule, seed: int, cfg: CampaignConfig,
         deadline = cluster.sim.now + 4 * cfg.quiesce_us
         while not done.done() and cluster.sim.now < deadline:
             cluster.run(until=min(cluster.sim.now + 2_000.0, deadline))
-    # Drain: retransmissions, probes across healed partitions, failure
-    # detection, commit replay and arb-replay all finish in this window.
-    cluster.run(until=cluster.sim.now + cfg.quiesce_us)
 
     audit = audit_run(cluster, ledger, initial_value=0, history=recorder)
     failures = cluster.failures

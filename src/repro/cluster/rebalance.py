@@ -30,19 +30,17 @@ up where the directory state says it left off.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..obs import TID_NET
 from ..ownership.messages import ReqType
 from ..sim.process import Future, Process
 from ..store.catalog import ObjectId
+from .movers import MoveExecutor, MoveOp
 
-__all__ = ["Rebalancer"]
+__all__ = ["Rebalancer", "MoveOp"]
 
 NodeId = int
-
-#: One planned migration: (dst node, object, request type, trim victim).
-MoveOp = Tuple[NodeId, ObjectId, ReqType, Optional[NodeId]]
 
 
 class Rebalancer:
@@ -54,21 +52,20 @@ class Rebalancer:
         self.cluster = cluster
         self.sim = cluster.sim
         self.obs = cluster.obs
-        self.batch_size = batch_size
-        self.pause_us = pause_us
         self.poll_us = poll_us
-        self.move_timeout_us = move_timeout_us
         #: Consecutive idle polls a draining node must stay quiet before its
         #: process is halted (covers transactions past their ownership phase
         #: but not yet in the commit pipeline).
         self.quiet_polls = quiet_polls
+        #: Shared batched-mover machinery (also used by the placement
+        #: controller, under its own counter group).
+        self.executor = MoveExecutor(cluster, batch_size=batch_size,
+                                     pause_us=pause_us,
+                                     move_timeout_us=move_timeout_us,
+                                     counter_group="rebalance")
 
-        registry = self.obs.registry
-        self._c_moved = registry.counter("rebalance.objects_moved")
-        self._c_bytes = registry.counter("rebalance.bytes")
-        self._c_aborts = registry.counter("rebalance.inflight_aborts")
-        self._c_drains = registry.counter("rebalance.drains_completed")
-        self._h_pause = registry.histogram("rebalance.pause_us")
+        self._c_drains = self.obs.registry.counter(
+            "rebalance.drains_completed")
 
         #: Nodes currently being drained (removed once retired).
         self.draining: Set[NodeId] = set()
@@ -141,7 +138,7 @@ class Rebalancer:
                 ops.extend(self._plan_drain(x))
             if ops:
                 idle_rounds = 0
-                yield from self._execute(ops)
+                yield from self.executor.execute(ops)
                 continue
             if self._maybe_finalize_drains():
                 idle_rounds = 0
@@ -165,7 +162,15 @@ class Rebalancer:
 
     def _cluster_quiet(self) -> bool:
         for h in self.cluster.handles:
-            if h.node.alive and getattr(h.ownership, "_reqs", None):
+            if not h.node.alive:
+                continue
+            if getattr(h.ownership, "_reqs", None):
+                return False
+            # Arbiter-side pending arbitrations count too: an abandoned
+            # request's rollback (or a straggler VAL behind a healing
+            # channel) will still rewrite directory entries when it
+            # lands — settling before that re-skews the declared balance.
+            if getattr(h.ownership, "_pending_arb", None):
                 return False
         return True
 
@@ -255,57 +260,6 @@ class Rebalancer:
             if rep.owner is not None and rep.owner != leaver:
                 removes.append((rep.owner, oid, ReqType.REMOVE_READER, leaver))
         return moves + adds + removes
-
-    # ------------------------------------------------------------ execution
-
-    def _execute(self, ops: List[MoveOp]):
-        tracer = self.obs.tracer
-        for start in range(0, len(ops), self.batch_size):
-            batch = ops[start:start + self.batch_size]
-            began = self.sim.now
-            span = (tracer.begin("rebalance", pid=0, tid=TID_NET,
-                                 cat="rebalance", ops=len(batch))
-                    if tracer else None)
-            done: List[bool] = []
-            for op in batch:
-                self._spawn_mover(op, done)
-            deadline = self.sim.now + self.move_timeout_us
-            while len(done) < len(batch) and self.sim.now < deadline:
-                yield 50.0
-            if span is not None:
-                tracer.end(span, moved=sum(1 for ok in done if ok),
-                           timed_out=len(batch) - len(done))
-            # Duty-cycle pause: floor plus half the batch's wall time, so a
-            # struggling cluster gets proportionally more breathing room.
-            pause = self.pause_us + 0.5 * (self.sim.now - began)
-            self._h_pause.record(pause)
-            yield pause
-
-    def _spawn_mover(self, op: MoveOp, done: List[bool]) -> None:
-        dst, oid, req_type, victim = op
-        cluster = self.cluster
-        handle = cluster.handles[dst]
-        if not handle.node.alive:
-            done.append(False)
-            return
-        size = cluster.catalog.size_of(oid)
-
-        def mover():
-            outcome = yield from handle.ownership.acquire(oid, req_type,
-                                                          victim=victim)
-            if outcome.granted:
-                if req_type == ReqType.ACQUIRE_OWNER:
-                    self._c_moved.inc()
-                    self._c_bytes.inc(size)
-                elif req_type == ReqType.ADD_READER:
-                    self._c_bytes.inc(size)
-            else:
-                self._c_aborts.inc()
-            done.append(outcome.granted)
-
-        # Tied to the destination node: if it dies mid-move the request dies
-        # with it, exactly like any in-flight acquire.
-        handle.node.spawn(mover(), name=f"rebal.{oid}")
 
     # ---------------------------------------------------------------- drain
 

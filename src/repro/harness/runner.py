@@ -13,6 +13,7 @@ the dispatch table cannot drift from the parser:
 * ``python -m repro check [--seeds N]``     — strict-serializability check
 * ``python -m repro locality``              — the §8 locality analyses
 * ``python -m repro heatmap [--out F]``     — live locality telemetry
+* ``python -m repro place [--workload W]``  — static-vs-adaptive placement
 * ``python -m repro smallbank [--remote F]``— one Zeus-vs-baseline point
 * ``python -m repro trace [--out F]``       — capture a Chrome trace
 * ``python -m repro analyze [--jsonl F]``   — critical-path latency breakdown
@@ -101,6 +102,7 @@ def _cmd_chaos(args) -> int:
                         ack_policy=args.ack),
         elastic=args.elastic,
         elastic_add=args.add,
+        placement=args.placement,
     )
 
     if args.show_schedules:
@@ -276,18 +278,45 @@ class _ElasticRig:
         self.cluster.on_nodes_added(_on_added)
         self.cluster.sim.call_at(at, self.cluster.add_nodes, add)
 
+    def settle(self, quiesce_us: float, converge: bool = True):
+        """Post-run settling shared by the rig's CLIs: let the rebalancer
+        converge (bounded at four quiesce windows — a run that cannot
+        converge falls through to the audit and fails there), then drain
+        in-flight work for one quiesce window.  Returns the converge
+        future (``None`` when ``converge`` is off)."""
+        cluster = self.cluster
+        done = None
+        if converge:
+            done = cluster.rebalancer.converge()
+            deadline = cluster.sim.now + 4 * quiesce_us
+            while not done.done() and cluster.sim.now < deadline:
+                cluster.run(until=min(cluster.sim.now + 2_000.0, deadline))
+        cluster.run(until=cluster.sim.now + quiesce_us)
+        return done
+
 
 def _locality_fall(loc, add_at: float, stop_at: float):
     """Remote fraction over the post-scale-out churn era vs the settled
     tail.  The churn era starts at the joiners' first served commit (the
     rig's ``joiners_serving`` mark — quarantine and the join barrier keep
     them dark for a while after ``add_nodes``); each window spans a third
-    of the remaining run.  Returns ``(serving_at, churn, settled)``."""
+    of the remaining run.  The churn figure is the *peak* timeline bin of
+    that era: a trimmed replica's readers re-acquire on their next
+    read-only transaction, which keeps the settled tail within noise of
+    the churn-era mean, but the handover storm right after the joiners
+    start serving still peaks well above the settled fraction.  Returns
+    ``(serving_at, churn_peak, settled)``."""
     serving = next((at for _label, at, _info in loc.marks("joiners_serving")
                     if add_at <= at < stop_at), add_at)
     span = (stop_at - serving) / 3.0
-    return (serving, loc.remote_fraction(serving, serving + span),
-            loc.remote_fraction(stop_at - span, stop_at))
+    churn = None
+    for t, local, remote in loc.remote_fraction_timeline():
+        if serving <= t < serving + span and (local + remote) >= 50:
+            frac = remote / (local + remote)
+            churn = frac if churn is None else max(churn, frac)
+    if churn is None:  # too few txns per bin: fall back to the era mean
+        churn = loc.remote_fraction(serving, serving + span)
+    return (serving, churn, loc.remote_fraction(stop_at - span, stop_at))
 
 
 def _write_locality_json(recorder, path: str) -> None:
@@ -347,11 +376,7 @@ def _cmd_elastic(args) -> int:
     final = sum(tail) / max(1, len(tail))
 
     # Settle: let the rebalancer converge, drain in-flight work, audit.
-    done = cluster.rebalancer.converge()
-    deadline = cluster.sim.now + 4 * args.quiesce
-    while not done.done() and cluster.sim.now < deadline:
-        cluster.run(until=min(cluster.sim.now + 2_000.0, deadline))
-    cluster.run(until=cluster.sim.now + args.quiesce)
+    done = rig.settle(args.quiesce)
     audit = audit_run(cluster, ledger, initial_value=0)
 
     reg = obs.registry
@@ -520,12 +545,7 @@ def _cmd_heatmap(args) -> int:
     if args.add > 0:
         rig.schedule_scale_out(args.add, add_at, stop_at)
     cluster.run(until=stop_at)
-    if args.add > 0:
-        done = cluster.rebalancer.converge()
-        deadline = cluster.sim.now + 4 * args.quiesce
-        while not done.done() and cluster.sim.now < deadline:
-            cluster.run(until=min(cluster.sim.now + 2_000.0, deadline))
-    cluster.run(until=cluster.sim.now + args.quiesce)
+    rig.settle(args.quiesce, converge=args.add > 0)
 
     report = loc.report(groups=args.groups, top=args.top)
     totals = report["totals"]
@@ -610,6 +630,50 @@ def _cmd_heatmap(args) -> int:
             print("  FAILED: no migration payback computed")
             ok = False
     print("\nverdict      :", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_place(args) -> int:
+    """Static vs adaptive placement: the differential harness as a CLI.
+
+    For each workload, runs the same seeded cluster + workload twice —
+    without and with the :class:`~repro.placement.PlacementController` —
+    and reports the remote-transaction-fraction change, the controller's
+    actuation counts, and the decision-log digest.  Exit 0 requires every
+    gate: audits green on all runs (``--check-history`` adds the strict-
+    serializability checker), adaptive *reducing* the remote fraction on
+    the locality workloads (venmo, mobility), *no* reduction claim on the
+    uniform ones (smallbank, tpcc), same-seed byte-identical decision
+    logs, and every logged decision replaying offline through the pure
+    policy to the live actuation list.
+    """
+    from ..placement import DIFF_WORKLOADS, run_pair
+
+    names = args.workload if args.workload else list(DIFF_WORKLOADS)
+    print(f"placement differential: static vs adaptive, seed {args.seed}"
+          + (", history checker on" if args.check_history else ""))
+    print(f"{'workload':<10} {'static':>7}    {'adaptive':>6}  "
+          f"{'claim':<9} {'gate':<14} actuations")
+    ok = True
+    for name in names:
+        out = run_pair(name, seed=args.seed,
+                       check_history=args.check_history,
+                       verify_determinism=not args.no_redetermine)
+        print(out.row())
+        for audit_name, problem in out.static_audit.problems():
+            print(f"    STATIC AUDIT [{audit_name}]: {problem}")
+        for audit_name, problem in out.adaptive_audit.problems():
+            print(f"    ADAPTIVE AUDIT [{audit_name}]: {problem}")
+        if not out.deterministic:
+            print("    FAILED: decision log differs between same-seed runs")
+        if not out.replay_ok:
+            print("    FAILED: offline policy replay diverged from the "
+                  "live decision log")
+        print(f"    committed {out.static_committed} -> "
+              f"{out.adaptive_committed}; decision log sha256 "
+              f"{out.decision_digest[:16]}")
+        ok = ok and out.ok
+    print("verdict      :", "OK" if ok else "FAILED")
     return 0 if ok else 1
 
 
@@ -876,6 +940,9 @@ def _args_chaos(p: argparse.ArgumentParser) -> None:
     p.add_argument("--add", type=int, default=2,
                    help="nodes each elastic schedule adds "
                         "(default %(default)s)")
+    p.add_argument("--placement", action="store_true",
+                   help="run every cell with the adaptive placement "
+                        "controller live (locality recorder attached)")
     p.add_argument("--wal", action="store_true",
                    help="enable the per-node write-ahead log + snapshots")
     p.add_argument("--fsync", choices=("group", "always"), default="group",
@@ -965,6 +1032,22 @@ def _args_heatmap(p: argparse.ArgumentParser) -> None:
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the full report as deterministic JSON "
                         "(placement-controller input)")
+
+
+def _args_place(p: argparse.ArgumentParser) -> None:
+    from ..placement import DIFF_WORKLOADS
+
+    p.add_argument("--workload", action="append", metavar="NAME",
+                   choices=DIFF_WORKLOADS,
+                   help="workload to run (repeatable; default: all of "
+                        f"{', '.join(DIFF_WORKLOADS)})")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--check-history", action="store_true",
+                   help="also record and audit each run's transaction "
+                        "history for strict serializability")
+    p.add_argument("--no-redetermine", action="store_true",
+                   help="skip the repeat adaptive run that proves the "
+                        "decision log byte-identical (faster)")
 
 
 def _args_check(p: argparse.ArgumentParser) -> None:
@@ -1061,6 +1144,8 @@ COMMANDS = [
      None, _cmd_locality),
     ("heatmap", "live locality telemetry: heatmap, remote-txn attribution, "
      "migration ledger", _args_heatmap, _cmd_heatmap),
+    ("place", "static-vs-adaptive placement differential (exit-code gated)",
+     _args_place, _cmd_place),
     ("smallbank", "one Zeus-vs-FaSST point", _args_smallbank, _cmd_smallbank),
     ("trace", "capture a Chrome trace of a short SmallBank mix",
      _args_trace, _cmd_trace),

@@ -69,8 +69,15 @@ class ZeusCluster:
                  catalog: Optional[Catalog] = None,
                  seed: int = 0,
                  max_pipeline_depth: int = 32,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 placement=None):
         self.params = params or SimParams()
+        #: Placement policy for the lazy :attr:`placement` controller
+        #: (``None`` = the policy's defaults).  The controller itself only
+        #: exists — and only acts — once something calls ``.start()`` on
+        #: it, so a cluster built with a policy but never started is
+        #: byte-identical to a controller-free one.
+        self._placement_policy = placement
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
         self.catalog = catalog or Catalog(num_nodes, self.params.replication_degree)
@@ -111,6 +118,7 @@ class ZeusCluster:
         #: Sim time of the rebalancer's most recent convergence.
         self.last_converge_at: Optional[float] = None
         self._rebalancer: Optional[Rebalancer] = None
+        self._placement = None
         self._nodes_added_listeners: List[Callable[[Tuple[int, ...]], None]] = []
 
     def _build_handle(self, nid: int) -> ZeusHandle:
@@ -226,6 +234,17 @@ class ZeusCluster:
         if self._rebalancer is None:
             self._rebalancer = Rebalancer(self)
         return self._rebalancer
+
+    @property
+    def placement(self):
+        """The (lazily created) adaptive placement controller.  Needs the
+        locality recorder to see anything — attach one via ``obs`` — and
+        an LB (``placement.lb``) for re-pin actuations."""
+        if self._placement is None:
+            from ..placement import PlacementController
+            self._placement = PlacementController(
+                self, policy=self._placement_policy)
+        return self._placement
 
     def is_draining(self, node_id: int) -> bool:
         return (self._rebalancer is not None

@@ -62,7 +62,8 @@ CAUSE_MIGRATING = "migrating"
 CAUSE_ROUTING_MISS = "routing_miss"
 
 #: Report schema version (bumped whenever the JSON layout changes).
-SCHEMA_VERSION = 1
+#: v2 added the ``placement`` section (the controller's decision input).
+SCHEMA_VERSION = 2
 
 
 class SpaceSaving:
@@ -264,6 +265,10 @@ class LocalityRecorder:
         self._per_node: Dict[int, SpaceSaving] = {}
         #: co-access edges over (oid_lo, oid_hi) pairs.
         self._pairs = SpaceSaving(pair_top_k, half_life_us)
+        #: cluster-wide per-object read / write sketches (the degree
+        #: policy's read-hot vs write-hot signal).
+        self._reads = SpaceSaving(top_k, half_life_us)
+        self._writes = SpaceSaving(top_k, half_life_us)
 
         # ----- per-txn classification
         self.txns = 0
@@ -344,6 +349,10 @@ class LocalityRecorder:
                                                         self.half_life_us)
         for oid in oids:
             sketch.add(oid, now)
+        for oid in dict.fromkeys(write_set):
+            self._writes.add(oid, now)
+        for oid in dict.fromkeys(read_set):
+            self._reads.add(oid, now)
 
         if len(oids) > 1:
             capped = oids[:8]  # bound the quadratic edge fan-out per txn
@@ -617,6 +626,49 @@ class LocalityRecorder:
             "ping_pong_objects": len(self._ping_pong),
         }
 
+    def placement_snapshot(self, top: int = 64) -> Dict[str, Any]:
+        """The placement controller's decision input: per-object access
+        splits with read/write totals, fresh LB re-pins, recent handover
+        times, and the ping-pong set.
+
+        JSON round-trip stable — only lists, strings, and rounded numbers
+        (node ids appear as string keys), so serializing a snapshot and
+        reloading it yields an equal value and a recorded snapshot replays
+        through :class:`~repro.placement.PlacementPolicy` offline with the
+        exact actuation list of the live run."""
+        merged: Dict[Any, Dict[int, float]] = {}
+        for nid in sorted(self._per_node):
+            for oid, count in self._per_node[nid].counts.items():
+                merged.setdefault(oid, {})[nid] = count
+        ranked = sorted(merged.items(),
+                        key=lambda kv: (-sum(kv[1].values()), str(kv[0])))
+        objects = []
+        for oid, per in ranked[:top]:
+            objects.append({
+                "oid": oid,
+                "total": round(sum(per.values()), 3),
+                "per_node": {str(nid): round(c, 3)
+                             for nid, c in sorted(per.items())},
+                "reads": round(self._reads.get(oid), 3),
+                "writes": round(self._writes.get(oid), 3),
+            })
+        repins = [[key, node, round(at, 3)]
+                  for key, (node, at) in sorted(self._repinned.items(),
+                                                key=lambda kv: str(kv[0]))]
+        recent = [[oid, round(times[-1], 3)]
+                  for oid, times in sorted(self._handover_times.items(),
+                                           key=lambda kv: str(kv[0]))
+                  if times]
+        return {
+            "objects": objects,
+            "repins": repins,
+            "recent_handovers": recent,
+            "ping_pong_oids": sorted(self._ping_pong, key=str),
+            # Wide enough for community detection: a truncated edge list
+            # fragments co-access components and consolidation stalls.
+            "coaccess": self.coaccess_edges(256),
+        }
+
     def report(self, groups: int = 8, top: int = 12,
                table_limit: int = 64) -> Dict[str, Any]:
         """The full JSON-able telemetry document (deterministically
@@ -663,6 +715,7 @@ class LocalityRecorder:
             },
             "marks": [[label, round(at, 3), info]
                       for label, at, info in self._marks],
+            "placement": self.placement_snapshot(),
         }
 
 
@@ -699,6 +752,9 @@ class NullLocalityRecorder:
 
     def marks(self, label=None) -> list:
         return []
+
+    def placement_snapshot(self, top: int = 64) -> Dict[str, Any]:
+        return {}
 
     def report(self, groups: int = 8, top: int = 12,
                table_limit: int = 64) -> Dict[str, Any]:

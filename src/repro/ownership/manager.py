@@ -147,6 +147,11 @@ class OwnershipManager(LifecycleMixin):
         #: these, so every ownership move during a drain doubles as the
         #: draining node's eviction from that replica set.
         self.trim_preferred: Set[NodeId] = set()
+        #: Per-object replication-degree overrides (set cluster-wide by the
+        #: placement controller): a read-hot object widened beyond the
+        #: configured degree keeps its extra readers across ownership
+        #: moves instead of losing one to every post-acquire trim.
+        self.degree_overrides: Dict[ObjectId, int] = {}
 
         self._next_req_id = 0
         self._reqs: Dict[ReqId, _ReqCtx] = {}
@@ -297,6 +302,24 @@ class OwnershipManager(LifecycleMixin):
         self._reqs.pop(ctx.req_id, None)
         if self._req_by_oid.get(ctx.oid) is ctx:
             del self._req_by_oid[ctx.oid]
+        if (not granted and reason is NackReason.TIMEOUT
+                and ctx.arbiters is not None and ctx.o_ts is not None):
+            # Abandoning mid-arbitration: the arbiters are invalidated
+            # waiting on our VAL and nobody else will ever send it (the
+            # stale-RESP rollback only covers a RESP that arrives *after*
+            # the watchdog; when the RESP came first — e.g. the requester
+            # is itself a directory host — a straggler ACK is silently
+            # ignored and the entry strands in Drive, livelocking every
+            # later request on BUSY_ARBITRATION).  Roll it back.
+            abort = OwnAbort(ctx.req_id, ctx.oid, ctx.o_ts, self.node.epoch)
+            for arb in ctx.arbiters:
+                self.node.send(arb, KIND_ABORT, abort, OwnAbort.size)
+            self.counters.inc("timeout_abort")
+            # Abandon decisively: a DATA reply still in flight would
+            # otherwise "honour the grant anyway" (_on_data) and VAL the
+            # arbiters, racing this abort — whichever lands first at each
+            # arbiter would win, forking the directory.
+            self._fetch_waiting.pop(ctx.req_id, None)
         obj = self.store.get(ctx.oid)
         if ctx.oid in self._provisional:
             self._provisional.discard(ctx.oid)
@@ -433,7 +456,8 @@ class OwnershipManager(LifecycleMixin):
         of the critical path (Section 6.2)."""
         if req_type != ReqType.ACQUIRE_OWNER:
             return
-        if new_replicas.size() <= self.params.replication_degree:
+        degree = self.degree_overrides.get(oid, self.params.replication_degree)
+        if new_replicas.size() <= degree:
             return
         victim = self._pick_trim_victim(new_replicas)
         if victim is None:
@@ -809,6 +833,16 @@ class OwnershipManager(LifecycleMixin):
                 self.counters.inc("replica_dropped")
                 return
             self._provisional.add(oid)
+            # A provisional copy must not serve reads while the acquisition
+            # is pending: we are unlisted, so writers stop invalidating us
+            # and every local read gets staler.  A grant re-blesses the
+            # copy Valid via _apply_locally; a denial drops it in
+            # _complete.
+            obj.o_state = OState.INVALID
+            obj.o_ts = inv.o_ts
+            obj.o_replicas = None
+            self._log_store(obj)
+            return
         obj.o_state = OState.VALID
         obj.o_ts = inv.o_ts
         obj.o_replicas = replicas if replicas.owner == self.node_id else None

@@ -286,6 +286,13 @@ class ReadOnlyTransaction(_TxnBase):
     def open_read(self, oid: ObjectId):
         """Generator: read one object into the snapshot buffer."""
         obj = self.store.get(oid)
+        if obj is not None and obj.o_state not in (OState.VALID,
+                                                   OState.REQUEST):
+            # A copy whose ownership state is not Valid is not a
+            # legitimate replica (mid-eviction, or provisional after a
+            # settled arbitration unlisted us): writers no longer
+            # invalidate it, so reading it returns ever-staler data.
+            obj = None
         if obj is None:
             # Not a replica: acquire reader level (rare; the load balancer
             # routes read-only transactions to replicas).

@@ -227,8 +227,8 @@ def test_write_bench_path(tmp_path, bench_doc):
 def test_cli_registry_covers_all_commands():
     names = [name for name, _, _, _ in COMMANDS]
     assert names == ["quickstart", "verify", "chaos", "elastic", "check",
-                     "locality", "heatmap", "smallbank", "trace", "analyze",
-                     "bench", "list"]
+                     "locality", "heatmap", "place", "smallbank", "trace",
+                     "analyze", "bench", "list"]
     assert len(set(names)) == len(names)
     for _, help_line, _, handler in COMMANDS:
         assert help_line and callable(handler)

@@ -349,10 +349,12 @@ def test_heatmap_cli_byte_identical_json(tmp_path, capsys):
     assert "hot keys" in out
     assert paths[0].read_bytes() == paths[1].read_bytes()
     doc = json.loads(paths[0].read_text())
-    assert doc["schema_version"] == 1
+    assert doc["schema_version"] == 2
     assert doc["totals"]["txns"] > 0
     assert doc["hot_keys"]
     assert doc["totals"]["routes"]["repins"] >= 24
+    # v2 adds the placement-controller input section.
+    assert doc["placement"]["objects"]
 
 
 def test_heatmap_cli_rejects_empty_run(capsys):
